@@ -1,0 +1,137 @@
+// A3 — Microbenchmarks of the hot substrate paths (google-benchmark):
+// CNN layer forward/backward, the event-queue kernel, RNG, the 802.11ac
+// compressed-feedback pipeline, and the comm-cost computation.
+#include <benchmark/benchmark.h>
+
+#include "microdeep/comm_cost.hpp"
+#include "phy/beamforming.hpp"
+#include "sim/simulator.hpp"
+
+using namespace zeiot;
+
+namespace {
+
+ml::Tensor random_tensor(std::vector<int> shape, std::uint64_t seed) {
+  Rng rng(seed);
+  ml::Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+void BM_Conv2DForward(benchmark::State& state) {
+  Rng rng(1);
+  ml::Conv2D conv(4, 8, 3, 1, rng);
+  const ml::Tensor x = random_tensor({8, 4, 17, 25}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x, false));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_Conv2DForward);
+
+void BM_Conv2DBackward(benchmark::State& state) {
+  Rng rng(1);
+  ml::Conv2D conv(4, 8, 3, 1, rng);
+  const ml::Tensor x = random_tensor({8, 4, 17, 25}, 2);
+  const ml::Tensor y = conv.forward(x, true);
+  const ml::Tensor g = random_tensor(y.shape(), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.backward(g));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_Conv2DBackward);
+
+void BM_DenseForward(benchmark::State& state) {
+  Rng rng(1);
+  ml::Dense dense(384, 32, rng);
+  const ml::Tensor x = random_tensor({32, 384}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dense.forward(x, false));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_DenseForward);
+
+void BM_MaxPoolForward(benchmark::State& state) {
+  ml::MaxPool2D pool(2);
+  const ml::Tensor x = random_tensor({8, 8, 16, 24}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.forward(x, false));
+  }
+}
+BENCHMARK(BM_MaxPoolForward);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.schedule(rng.uniform(0.0, 1000.0), [] {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_RngNormal(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.normal());
+  }
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_CompressedFeedback(benchmark::State& state) {
+  phy::CsiEnvironment env;
+  env.subcarriers = static_cast<int>(state.range(0));
+  Rng rng(9);
+  const auto h = phy::generate_csi(env, {4.0, 3.0}, 0.05, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phy::compressed_feedback_features(h));
+  }
+}
+BENCHMARK(BM_CompressedFeedback)->Arg(8)->Arg(52);
+
+void BM_CommCost(benchmark::State& state) {
+  Rng rng(1);
+  ml::Network net;
+  net.emplace<ml::Conv2D>(1, 4, 3, 1, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::MaxPool2D>(2);
+  net.emplace<ml::Flatten>();
+  net.emplace<ml::Dense>(4 * 8 * 12, 8, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::Dense>(8, 2, rng);
+  const auto g = microdeep::UnitGraph::build(net, {1, 17, 25});
+  Rng wsn_rng(2);
+  const auto wsn = microdeep::WsnTopology::jittered_grid(
+      {0.0, 0.0, 50.0, 34.0}, 10, 5, wsn_rng);
+  const auto a = microdeep::assign_balanced_heuristic(g, wsn);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(microdeep::compute_comm_cost(a, wsn));
+  }
+}
+BENCHMARK(BM_CommCost);
+
+void BM_UnitGraphBuild(benchmark::State& state) {
+  Rng rng(1);
+  ml::Network net;
+  net.emplace<ml::Conv2D>(1, 4, 3, 1, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::MaxPool2D>(2);
+  net.emplace<ml::Flatten>();
+  net.emplace<ml::Dense>(4 * 8 * 12, 8, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::Dense>(8, 2, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(microdeep::UnitGraph::build(net, {1, 17, 25}));
+  }
+}
+BENCHMARK(BM_UnitGraphBuild);
+
+}  // namespace

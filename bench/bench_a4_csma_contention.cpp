@@ -1,0 +1,52 @@
+// A4 — CSMA/CA contention under growing populations (paper Sec. V: "it is
+// important to avoid the collision of communication IoT devices").
+//
+// Regenerates the classic saturation-throughput curve: per-station and
+// aggregate throughput, collision probability, fairness and access delay
+// as the number of contending devices grows — the quantitative argument
+// for why *scheduled* access (the collection scheduler, the backscatter
+// B-MAC) is needed once fleets grow.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "mac/csma.hpp"
+
+using namespace zeiot;
+using namespace zeiot::mac;
+
+int main() {
+  std::cout << "=== A4: CSMA/CA saturation behaviour ===\n";
+  Table t({"stations", "throughput", "collision prob", "mean delay (slots)",
+           "drops", "Jain fairness"});
+  for (std::size_t n : {1u, 2u, 5u, 10u, 20u, 40u, 80u}) {
+    CsmaConfig cfg;
+    cfg.num_stations = n;
+    cfg.seed = 7;
+    const auto m = simulate_csma(cfg, 600000);
+    t.add_row({std::to_string(n), Table::pct(m.throughput),
+               Table::pct(m.collision_probability),
+               Table::num(m.mean_access_delay_slots, 0),
+               std::to_string(m.drops), Table::num(m.jain_fairness(), 3)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\n--- unsaturated low-rate IoT reporting ---\n";
+  Table t2({"stations", "arrival/slot", "throughput", "collision prob"});
+  for (std::size_t n : {10u, 50u, 200u}) {
+    for (double a : {0.0002, 0.001}) {
+      CsmaConfig cfg;
+      cfg.num_stations = n;
+      cfg.saturated = false;
+      cfg.arrival_per_slot = a;
+      cfg.seed = 7;
+      const auto m = simulate_csma(cfg, 600000);
+      t2.add_row({std::to_string(n), Table::num(a, 4),
+                  Table::pct(m.throughput),
+                  Table::pct(m.collision_probability)});
+    }
+  }
+  t2.print(std::cout);
+  std::cout << "takeaway: contention collapses under scale — the motivation "
+               "for cycle-registered scheduling in zero-energy fleets\n";
+  return 0;
+}

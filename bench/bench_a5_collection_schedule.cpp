@@ -1,0 +1,65 @@
+// A5 — Automatic generation of information-collection schedules (paper
+// Secs. III.B and V: the design-support environment that turns device
+// cycles + network structure + recovery policy into a collision-free
+// collection algorithm).
+//
+// Sweeps fleet size x channel count and reports feasibility, worst slack
+// and channel load; every feasible schedule is re-checked by the
+// independent validator.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "mac/collection.hpp"
+
+using namespace zeiot;
+using namespace zeiot::mac;
+
+namespace {
+
+std::vector<DeviceRequirement> deploy(std::size_t n, double period_s) {
+  std::vector<DeviceRequirement> devices;
+  for (std::size_t i = 0; i < n; ++i) {
+    devices.push_back({static_cast<CollectionDeviceId>(i),
+                       {4.0 * static_cast<double>(i % 10),
+                        4.0 * static_cast<double>(i / 10)},
+                       period_s,
+                       16});
+  }
+  return devices;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== A5: collection-schedule synthesis (Sec. III.B) ===\n";
+  Table t({"devices", "cycle (s)", "channels", "recovery", "feasible",
+           "worst slack (ms)", "max channel load", "validated"});
+  for (std::size_t n : {10u, 40u, 80u}) {
+    for (double period : {1.0, 0.1}) {
+      for (int channels : {1, 2, 4}) {
+        CollectionConfig cfg;
+        cfg.num_channels = channels;
+        cfg.recovery_slots = 1;
+        cfg.interference_range_m = 25.0;  // spatial reuse across the field
+        const auto devices = deploy(n, period);
+        const auto s = synthesize_schedule(devices, cfg);
+        double max_util = 0.0;
+        for (double u : s.channel_utilization) max_util = std::max(max_util, u);
+        const std::string validated =
+            s.feasible
+                ? (validate_schedule(s, devices, cfg).empty() ? "yes" : "NO")
+                : "-";
+        t.add_row({std::to_string(n), Table::num(period, 1),
+                   std::to_string(channels), "1 slot",
+                   s.feasible ? "yes" : "no",
+                   s.feasible ? Table::num(s.worst_slack_s * 1e3, 1) : "-",
+                   s.feasible ? Table::pct(max_util) : "-", validated});
+      }
+    }
+  }
+  t.print(std::cout);
+  std::cout << "takeaway: the synthesizer finds collision-free, deadline-"
+               "meeting schedules with reserved recovery slots, exploiting "
+               "spatial reuse, and reports infeasibility honestly\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// E5 — IEEE 802.11ac explicit-feedback CSI learning system (paper
+// Sec. IV.B, ref [8]).
+//
+// Paper setup: CSI feedback frames between an AP and a client, 624
+// features per frame, device-free localization over seven positions,
+// evaluated in six patterns = {user behaviour} x {antenna orientation}.
+// Paper result: ~96% accuracy for seven positions when the user is
+// walking and the antenna orientations have divergence.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sensing/csi/localization.hpp"
+
+using namespace zeiot;
+using namespace zeiot::sensing::csi;
+
+int main() {
+  std::cout << "=== E5: 802.11ac CSI-feedback localization (Sec. IV.B) ===\n";
+  phy::CsiEnvironment env;  // 52 subcarriers, 4x3 V -> 624 angles
+  LocalizationConfig cfg;
+  cfg.num_positions = 7;
+  cfg.frames_per_position = 60;
+  cfg.knn_k = 3;
+
+  const auto results = run_all_patterns(env, cfg);
+  Table t({"pattern (behaviour/antennas)", "accuracy", "macro F1"});
+  double best = 0.0;
+  std::string best_name;
+  for (const auto& r : results) {
+    t.add_row({r.pattern.name(), Table::pct(r.accuracy),
+               Table::num(r.confusion.macro_f1(), 3)});
+    if (r.accuracy > best) {
+      best = r.accuracy;
+      best_name = r.pattern.name();
+    }
+  }
+  t.print(std::cout);
+  std::cout << "best pattern: " << best_name << " at " << Table::pct(best)
+            << " (paper: walking + divergent antennas ~96%)\n";
+  std::cout << "captured features per frame: 624 (12 Givens angles x 52 "
+               "subcarriers, quantized psi=7/phi=9 bits)\n";
+  return 0;
+}

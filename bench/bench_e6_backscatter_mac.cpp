@@ -1,0 +1,75 @@
+// E6 — Backscatter MAC for WLAN coexistence (paper Sec. IV.A, ref [64]).
+//
+// Paper claims: (i) uncoordinated backscatter on every WLAN packet
+// consumes capacity and deteriorates WLAN performance; (ii) because
+// backscatter is much slower than WLAN, its packet error rate rises when
+// there is not enough WLAN traffic; (iii) the proposed cycle-registration
+// MAC (EDF scheduling + dummy carrier packets) lets both coexist with low
+// overhead.
+//
+// The bench sweeps offered WLAN load and fleet size for both MACs and
+// prints the coexistence metrics that witness each claim.
+#include <iostream>
+
+#include "backscatter/coexistence.hpp"
+#include "common/table.hpp"
+
+using namespace zeiot;
+using namespace zeiot::backscatter;
+
+namespace {
+
+CoexistenceMetrics run(MacMode mode, double rate, std::size_t devices) {
+  CoexistenceConfig cfg;
+  cfg.mode = mode;
+  cfg.duration_s = 60.0;
+  cfg.wlan_rate_hz = rate;
+  cfg.num_devices = devices;
+  cfg.device_period_s = 1.0;
+  cfg.seed = 11;
+  return CoexistenceSimulator(cfg).run();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E6: backscatter MAC coexistence (Sec. IV.A) ===\n";
+
+  std::cout << "\n--- sweep 1: WLAN offered load (8 devices, 1 s cycles) ---\n";
+  Table t1({"wlan pkt/s", "MAC", "bs delivery", "bs latency (ms)",
+            "wifi error", "wifi goodput (Mbps)", "dummy airtime",
+            "channel util"});
+  for (double rate : {2.0, 10.0, 50.0, 200.0, 800.0}) {
+    for (MacMode mode : {MacMode::Proposed, MacMode::Naive}) {
+      const auto m = run(mode, rate, 8);
+      t1.add_row({Table::num(rate, 0),
+                  mode == MacMode::Proposed ? "proposed" : "naive",
+                  Table::pct(m.delivery_ratio()),
+                  Table::num(m.mean_latency_s * 1e3, 1),
+                  Table::pct(m.wlan_error_rate()),
+                  Table::num(m.wlan_goodput_bps / 1e6, 2),
+                  Table::pct(m.dummy_airtime_fraction, 2),
+                  Table::pct(m.utilization)});
+    }
+  }
+  t1.print(std::cout);
+  std::cout << "paper claim (ii): naive backscatter PER explodes at low WLAN "
+               "load; the proposed MAC fills the gap with dummy carriers\n";
+
+  std::cout << "\n--- sweep 2: fleet size (50 WLAN pkt/s) ---\n";
+  Table t2({"devices", "MAC", "bs delivery", "bs collisions", "wifi error"});
+  for (std::size_t devices : {2u, 8u, 16u, 32u, 64u}) {
+    for (MacMode mode : {MacMode::Proposed, MacMode::Naive}) {
+      const auto m = run(mode, 50.0, devices);
+      t2.add_row({std::to_string(devices),
+                  mode == MacMode::Proposed ? "proposed" : "naive",
+                  Table::pct(m.delivery_ratio()),
+                  std::to_string(m.frames_collided),
+                  Table::pct(m.wlan_error_rate())});
+    }
+  }
+  t2.print(std::cout);
+  std::cout << "paper claim (i)+(iii): uncoordinated tags collide and corrupt "
+               "WLAN as the fleet grows; the granted MAC stays clean\n";
+  return 0;
+}

@@ -1,0 +1,147 @@
+// E7 — The zero-energy feasibility numbers behind Figs. 1-2 and Sec. I.
+//
+// Paper claims: conventional radio needs tens-to-hundreds of mW and even
+// BLE needs mW, while ambient backscatter cuts communication power to
+// about 1/10,000 (~10 uW); sensing runs at uW to tens of uW, so an
+// energy-harvesting device can sense and report indefinitely only if it
+// backscatters.
+//
+// The bench computes (a) the power-per-technology table, (b) harvested
+// power vs distance from an RF source, and (c) a day-long intermittent
+// device simulation comparing achievable duty cycles.
+#include <iostream>
+#include <memory>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "energy/device.hpp"
+#include "energy/intermittent_task.hpp"
+#include "phy/airtime.hpp"
+#include "radio/coverage.hpp"
+#include "radio/link.hpp"
+
+using namespace zeiot;
+
+int main() {
+  std::cout << "=== E7: zero-energy budget (Sec. I / Fig. 1-2) ===\n";
+
+  // (a) Power per communication technology (library defaults).
+  energy::ActivityCosts costs;
+  Table t1({"activity", "power", "ratio vs active radio"});
+  t1.add_row({"active radio tx", Table::num(costs.active_tx_watt * 1e3, 1) + " mW",
+              "1x"});
+  t1.add_row({"BLE tx", Table::num(costs.ble_tx_watt * 1e3, 1) + " mW",
+              Table::num(costs.active_tx_watt / costs.ble_tx_watt, 0) + "x less"});
+  t1.add_row({"ambient backscatter tx",
+              Table::num(costs.backscatter_tx_watt * 1e6, 1) + " uW",
+              Table::num(costs.active_tx_watt / costs.backscatter_tx_watt, 0) +
+                  "x less"});
+  t1.add_row({"sensing", Table::num(costs.sense_watt * 1e6, 1) + " uW", "-"});
+  t1.print(std::cout);
+  std::cout << "paper: backscatter ~1/10,000 of conventional radio (~10 uW)\n";
+
+  // (b) Harvestable RF power vs distance (1 W carrier, indoor).
+  std::cout << "\n--- harvested power vs distance (1 W carrier, n=2.5) ---\n";
+  radio::LogDistance indoor(40.0, 2.5);
+  radio::TxSpec carrier{30.0};
+  Table t2({"distance (m)", "harvested (uW)", "sustains backscatter duty"});
+  for (double d : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const double p = radio::harvestable_power_watt(indoor, carrier, d);
+    const double duty = p / costs.backscatter_tx_watt;
+    t2.add_row({Table::num(d, 0), Table::num(p * 1e6, 2),
+                duty >= 1.0 ? "continuous" : Table::pct(duty)});
+  }
+  t2.print(std::cout);
+
+  // (c) A day of continuous context sensing (one report every 5 s) on a
+  // weak indoor-light harvester: which radio keeps up?  An active radio
+  // must wake, associate and transmit (~20 ms of radio-on time per
+  // report); a backscatter tag only flips its switch for one frame.
+  std::cout << "\n--- 24 h continuous sensing at 0.2 Hz (indoor light, "
+               "10 uW peak) ---\n";
+  phy::BackscatterPhy bs_phy;
+  constexpr double kActiveRadioOnS = 20e-3;
+  Table t3({"radio", "reports due", "reports delivered", "delivery",
+            "energy per report"});
+  for (const bool use_backscatter : {true, false}) {
+    energy::IntermittentDevice dev(
+        std::make_unique<energy::SolarHarvester>(10e-6, Rng(5)),
+        energy::Capacitor(470e-6, 5.0), energy::HysteresisSwitch(3.0, 2.2));
+    const double report_airtime =
+        use_backscatter ? bs_phy.frame_airtime_s(8) : kActiveRadioOnS;
+    std::size_t due = 0, delivered = 0;
+    for (int tick = 0; tick < 24 * 60 * 12; ++tick) {  // every 5 s
+      dev.advance(tick * 5.0);
+      ++due;
+      if (!dev.is_on()) continue;
+      dev.try_sense(0.005);
+      const bool ok = use_backscatter ? dev.try_backscatter(report_airtime)
+                                      : dev.try_active_tx(report_airtime);
+      if (ok) ++delivered;
+    }
+    const double per_report =
+        use_backscatter ? costs.backscatter_tx_watt * report_airtime
+                        : costs.active_tx_watt * report_airtime;
+    t3.add_row({use_backscatter ? "backscatter" : "active 802.11",
+                std::to_string(due), std::to_string(delivered),
+                Table::pct(static_cast<double>(delivered) /
+                           static_cast<double>(due)),
+                Table::num(per_report * 1e6, 2) + " uJ"});
+  }
+  t3.print(std::cout);
+  std::cout << "paper: continuous zero-energy sensing is only viable with "
+               "backscatter communication\n";
+
+  // (d) Deployment planning (Sec. V): how many 1 W carriers does a
+  // 20 m x 20 m space need so every tag position harvests >= 1 uW?
+  std::cout << "\n--- carrier placement for harvesting coverage ---\n";
+  Table t4({"carriers", "covered fraction (>= 1 uW)", "worst cell (uW)"});
+  radio::LogDistance model(40.0, 2.5);
+  const Rect area{0.0, 0.0, 20.0, 20.0};
+  for (int k = 1; k <= 4; ++k) {
+    const auto placed =
+        radio::greedy_place_carriers(area, 1.0, 2.5, k, model, 1e-6);
+    const auto map = radio::compute_coverage(area, 1.0, placed, model);
+    t4.add_row({std::to_string(placed.size()),
+                Table::pct(map.covered_fraction(1e-6)),
+                Table::num(map.worst_watt() * 1e6, 2)});
+  }
+  t4.print(std::cout);
+
+  // (e) Intermittent computing: the sense->classify->backscatter chain on
+  // a capacitor too small for one uninterrupted run — checkpointing turns
+  // a livelocked device into a working one.
+  std::cout << "\n--- intermittent task chains (2.4 uF / 3.2 V buffer, 20 chains) "
+               "---\n";
+  Table t5({"harvest (uW)", "policy", "chains completed", "mean latency (s)",
+            "tasks re-executed", "checkpoint energy (uJ)"});
+  for (double harvest_uw : {15.0, 40.0, 120.0}) {
+    for (const bool checkpointed : {true, false}) {
+      energy::IntermittentDevice dev(
+          std::make_unique<energy::ConstantHarvester>(harvest_uw * 1e-6),
+          energy::Capacitor(2.4e-6, 3.2), energy::HysteresisSwitch(3.0, 2.0));
+      energy::IntermittentRunConfig rcfg;
+      rcfg.policy = checkpointed ? energy::CheckpointPolicy::EveryTask
+                                 : energy::CheckpointPolicy::None;
+      rcfg.chain_timeout_s = 30.0;
+      const auto ws = energy::run_workload(
+          dev, energy::default_context_chain(), rcfg, 60.0, 20);
+      t5.add_row({Table::num(harvest_uw, 0),
+                  checkpointed ? "checkpoint" : "volatile",
+                  std::to_string(ws.chains_completed) + "/20",
+                  ws.chains_completed > 0 ? Table::num(ws.mean_completion_s, 2)
+                                          : "-",
+                  Table::num(ws.total_reexecutions, 0),
+                  Table::num(ws.checkpoint_overhead_j * 1e6, 1)});
+    }
+  }
+  t5.print(std::cout);
+  std::cout << "takeaway: near the single-burst energy budget, volatile "
+               "execution burns most of its harvest on re-executed work "
+               "and starts missing chains; checkpointing trades a fixed "
+               "commit overhead for bounded waste, and in fully starved "
+               "regimes (tighter buffers - see tests/test_intermittent_"
+               "task.cpp) it is the difference between completing and "
+               "livelocking\n";
+  return 0;
+}

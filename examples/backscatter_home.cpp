@@ -1,0 +1,74 @@
+// A smart home with zero-energy backscatter sensors sharing the channel
+// with the household Wi-Fi (paper Secs. I, III.A, IV.A).
+//
+// Part 1 sizes the energy story: what a batteryless device can afford per
+// day on harvested power, and why backscatter (vs an active radio) is the
+// difference between "works" and "dead".
+// Part 2 runs the coexistence MAC: door/window/temperature sensors with
+// different reporting cycles riding the home's Wi-Fi traffic under the
+// cycle-registration MAC of ref [64], versus the uncoordinated baseline.
+//
+// Build & run:  ./backscatter_home
+#include <iostream>
+#include <memory>
+
+#include "backscatter/coexistence.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "energy/device.hpp"
+#include "radio/link.hpp"
+
+using namespace zeiot;
+
+int main() {
+  // --- Part 1: energy budget of one batteryless window sensor -----------
+  // RF harvesting from the home AP (100 mW, 4 m away, indoor path loss).
+  radio::LogDistance indoor(40.0, 2.8);
+  radio::TxSpec ap{20.0, 2.0};
+  const double harvest_w = radio::harvestable_power_watt(indoor, ap, 4.0);
+  std::cout << "harvested RF power at 4 m: " << harvest_w * 1e6 << " uW\n";
+
+  energy::IntermittentDevice sensor(
+      std::make_unique<energy::ConstantHarvester>(harvest_w),
+      energy::Capacitor(220e-6, 5.0), energy::HysteresisSwitch(3.2, 2.2));
+  // One day: sense + report once per minute, preferring backscatter.
+  std::size_t bs_ok = 0, active_ok = 0, attempts = 0;
+  for (int minute = 0; minute < 24 * 60; ++minute) {
+    sensor.advance(minute * 60.0);
+    if (!sensor.is_on()) continue;
+    ++attempts;
+    sensor.try_sense(0.005);
+    if (sensor.try_backscatter(0.002)) ++bs_ok;
+    // For contrast: could the same budget afford an active radio packet?
+    if (sensor.try_active_tx(0.002)) ++active_ok;
+  }
+  std::cout << "of " << attempts << " wake-ups: " << bs_ok
+            << " backscatter reports succeeded, " << active_ok
+            << " active-radio reports would have\n";
+  std::cout << "energy spent on backscatter: "
+            << sensor.ledger().of("backscatter_tx") * 1e6 << " uJ vs active: "
+            << sensor.ledger().of("active_tx") * 1e6 << " uJ\n\n";
+
+  // --- Part 2: MAC coexistence with the household Wi-Fi -----------------
+  Table table({"MAC", "wifi load (pkt/s)", "backscatter delivery",
+               "wifi error rate", "dummy airtime"});
+  for (double load : {5.0, 50.0, 300.0}) {
+    for (auto mode : {backscatter::MacMode::Proposed,
+                      backscatter::MacMode::Naive}) {
+      backscatter::CoexistenceConfig cfg;
+      cfg.mode = mode;
+      cfg.duration_s = 60.0;
+      cfg.wlan_rate_hz = load;
+      cfg.num_devices = 10;      // door/window/temp sensors
+      cfg.device_period_s = 2.0; // 2-second reporting cycle
+      const auto m = backscatter::CoexistenceSimulator(cfg).run();
+      table.add_row(
+          {mode == backscatter::MacMode::Proposed ? "proposed" : "naive",
+           Table::num(load, 0), Table::pct(m.delivery_ratio()),
+           Table::pct(m.wlan_error_rate()),
+           Table::pct(m.dummy_airtime_fraction)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

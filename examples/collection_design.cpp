@@ -1,0 +1,80 @@
+// Design-support walkthrough (paper Secs. III.B & V): you describe the
+// IoT device network — who sits where, how often each device must report,
+// how many channels exist, what recovery you want — and the synthesizer
+// generates the collision-free information-collection schedule, or tells
+// you exactly why it cannot.
+//
+// Build & run:  ./collection_design
+#include <iostream>
+
+#include "common/table.hpp"
+#include "mac/collection.hpp"
+
+using namespace zeiot;
+using namespace zeiot::mac;
+
+int main() {
+  // A building floor: 18 sensors across three rooms; HVAC sensors report
+  // every 2 s, door sensors every 500 ms, two fast vibration monitors
+  // every 100 ms.
+  std::vector<DeviceRequirement> devices;
+  CollectionDeviceId id = 0;
+  for (int room = 0; room < 3; ++room) {
+    const double rx = 20.0 * room;
+    for (int k = 0; k < 4; ++k) {  // HVAC
+      devices.push_back({id++, {rx + 3.0 * k, 2.0}, 2.0, 24});
+    }
+    for (int k = 0; k < 2; ++k) {  // doors
+      devices.push_back({id++, {rx + 8.0 * k, 8.0}, 0.5, 8});
+    }
+  }
+  devices.push_back({id++, {5.0, 15.0}, 0.1, 32});   // vibration monitor
+  devices.push_back({id++, {45.0, 15.0}, 0.1, 32});  // vibration monitor
+
+  CollectionConfig cfg;
+  cfg.num_channels = 2;
+  cfg.interference_range_m = 30.0;  // rooms 1 and 3 can reuse a channel
+  cfg.recovery_slots = 1;
+
+  std::cout << "synthesizing a schedule for " << devices.size()
+            << " devices on " << cfg.num_channels << " channels...\n";
+  const auto schedule = synthesize_schedule(devices, cfg);
+  if (!schedule.feasible) {
+    std::cout << "infeasible: " << schedule.failure_reason << "\n";
+    return 1;
+  }
+  const auto verdict = validate_schedule(schedule, devices, cfg);
+  std::cout << "feasible over a " << schedule.hyperperiod_s
+            << " s hyperperiod; independent validation: "
+            << (verdict.empty() ? "clean" : verdict) << "\n";
+  std::cout << "worst deadline slack: " << schedule.worst_slack_s * 1e3
+            << " ms\n";
+  for (std::size_t ch = 0; ch < schedule.channel_utilization.size(); ++ch) {
+    std::cout << "channel " << ch << " load: "
+              << Table::pct(schedule.channel_utilization[ch]) << "\n";
+  }
+
+  // Show the first 12 entries of the generated timeline.
+  Table t({"t (ms)", "device", "channel", "kind"});
+  for (std::size_t i = 0; i < schedule.entries.size() && i < 12; ++i) {
+    const auto& e = schedule.entries[i];
+    t.add_row({Table::num(e.start_s * 1e3, 2), std::to_string(e.device),
+               std::to_string(e.channel), e.recovery ? "recovery" : "data"});
+  }
+  std::cout << '\n';
+  t.print(std::cout);
+  std::cout << "... (" << schedule.entries.size()
+            << " scheduled transmissions in total)\n";
+
+  // What-if: drop to one channel.
+  CollectionConfig one = cfg;
+  one.num_channels = 1;
+  const auto tight = synthesize_schedule(devices, one);
+  std::cout << "\nwhat-if with a single channel: "
+            << (tight.feasible
+                    ? "still feasible (slack " +
+                          Table::num(tight.worst_slack_s * 1e3, 1) + " ms)"
+                    : "infeasible — " + tight.failure_reason)
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Backscatter MAC protocol of ref [64] (paper Sec. IV.A): IoT devices
+// register their data-acquisition cycles with the access point; the AP
+// schedules which device may backscatter on which carrier packet, injecting
+// a dummy carrier packet when WLAN traffic alone cannot meet a device's
+// cycle deadline.  Exactly one device is granted per carrier, so granted
+// transmissions never collide.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace zeiot::backscatter {
+
+using DeviceId = std::uint32_t;
+
+/// Registration entry: a device's constant communication cycle.
+struct CycleRegistration {
+  DeviceId device = 0;
+  double period_s = 1.0;       // data produced once per period
+  std::size_t frame_bytes = 8; // sensor reading size
+};
+
+/// A sensor frame awaiting uplink.
+struct PendingFrame {
+  DeviceId device = 0;
+  double ready_at = 0.0;
+  double deadline = 0.0;  // start of the next cycle
+};
+
+/// AP-side scheduler state for the proposed MAC: earliest-deadline-first
+/// over the registered devices' pending frames.
+class CycleScheduler {
+ public:
+  void register_device(const CycleRegistration& reg);
+
+  const std::vector<CycleRegistration>& registrations() const {
+    return registry_;
+  }
+  const CycleRegistration& registration(DeviceId id) const;
+
+  /// Queues a newly produced frame.
+  void enqueue(PendingFrame frame);
+
+  bool has_pending() const { return !pending_.empty(); }
+  std::size_t pending_count() const { return pending_.size(); }
+
+  /// Pops the pending frame with the earliest deadline that is still
+  /// meetable at time `now` given `tx_time_s` of required carrier
+  /// (deadline >= now + tx_time_s).  Expired frames encountered on the way
+  /// are dropped and counted in `expired`.
+  std::optional<PendingFrame> pop_earliest_deadline(double now,
+                                                    double tx_time_s,
+                                                    std::size_t& expired);
+
+  /// Drops frames whose deadline passed; returns how many were dropped.
+  std::size_t drop_expired(double now);
+
+  /// Earliest deadline among pending frames (infinity if none).
+  double next_deadline() const;
+
+ private:
+  std::vector<CycleRegistration> registry_;
+  std::vector<PendingFrame> pending_;  // kept deadline-sorted
+};
+
+}  // namespace zeiot::backscatter

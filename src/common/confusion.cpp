@@ -1,0 +1,104 @@
+#include "common/confusion.hpp"
+
+#include <cmath>
+#include <iomanip>
+
+#include "common/error.hpp"
+
+namespace zeiot {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : n_(num_classes), cells_(num_classes * num_classes, 0) {
+  ZEIOT_CHECK_MSG(num_classes > 0, "ConfusionMatrix needs >= 1 class");
+}
+
+void ConfusionMatrix::add(std::size_t truth, std::size_t predicted) {
+  ZEIOT_CHECK_MSG(truth < n_ && predicted < n_,
+                  "label out of range: truth=" << truth << " pred=" << predicted
+                                               << " classes=" << n_);
+  ++cells_[truth * n_ + predicted];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(std::size_t truth,
+                                   std::size_t predicted) const {
+  ZEIOT_CHECK(truth < n_ && predicted < n_);
+  return cells_[truth * n_ + predicted];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < n_; ++c) correct += cells_[c * n_ + c];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::accuracy_within(std::size_t tol) const {
+  if (total_ == 0) return 0.0;
+  std::size_t ok = 0;
+  for (std::size_t t = 0; t < n_; ++t)
+    for (std::size_t p = 0; p < n_; ++p) {
+      const std::size_t d = t > p ? t - p : p - t;
+      if (d <= tol) ok += cells_[t * n_ + p];
+    }
+  return static_cast<double>(ok) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(std::size_t c) const {
+  ZEIOT_CHECK(c < n_);
+  std::size_t tp = cells_[c * n_ + c];
+  std::size_t predicted = 0;
+  for (std::size_t t = 0; t < n_; ++t) predicted += cells_[t * n_ + c];
+  return predicted == 0 ? 0.0
+                        : static_cast<double>(tp) / static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(std::size_t c) const {
+  ZEIOT_CHECK(c < n_);
+  std::size_t tp = cells_[c * n_ + c];
+  std::size_t actual = 0;
+  for (std::size_t p = 0; p < n_; ++p) actual += cells_[c * n_ + p];
+  return actual == 0 ? 0.0
+                     : static_cast<double>(tp) / static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(std::size_t c) const {
+  const double p = precision(c);
+  const double r = recall(c);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double s = 0.0;
+  for (std::size_t c = 0; c < n_; ++c) s += f1(c);
+  return s / static_cast<double>(n_);
+}
+
+double ConfusionMatrix::mean_absolute_error() const {
+  if (total_ == 0) return 0.0;
+  double s = 0.0;
+  for (std::size_t t = 0; t < n_; ++t)
+    for (std::size_t p = 0; p < n_; ++p) {
+      const std::size_t d = t > p ? t - p : p - t;
+      s += static_cast<double>(d) * static_cast<double>(cells_[t * n_ + p]);
+    }
+  return s / static_cast<double>(total_);
+}
+
+void ConfusionMatrix::print(std::ostream& os,
+                            const std::vector<std::string>& labels) const {
+  os << "truth \\ pred";
+  for (std::size_t p = 0; p < n_; ++p) {
+    os << '\t' << (p < labels.size() ? labels[p] : std::to_string(p));
+  }
+  os << '\n';
+  for (std::size_t t = 0; t < n_; ++t) {
+    os << (t < labels.size() ? labels[t] : std::to_string(t));
+    for (std::size_t p = 0; p < n_; ++p) os << '\t' << cells_[t * n_ + p];
+    os << '\n';
+  }
+  os << "accuracy=" << std::fixed << std::setprecision(4) << accuracy()
+     << " macroF1=" << macro_f1() << '\n';
+}
+
+}  // namespace zeiot

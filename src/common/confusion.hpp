@@ -1,0 +1,50 @@
+// Confusion matrix and classification metrics (accuracy, precision/recall,
+// per-class and macro F-measure) used by every sensing pipeline's evaluation.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace zeiot {
+
+/// Square confusion matrix over `num_classes` labels.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  /// Records one (truth, prediction) pair.
+  void add(std::size_t truth, std::size_t predicted);
+
+  std::size_t num_classes() const { return n_; }
+  std::size_t total() const { return total_; }
+  std::size_t count(std::size_t truth, std::size_t predicted) const;
+
+  /// Fraction of exactly correct predictions (0 if empty).
+  double accuracy() const;
+  /// Fraction of predictions within +/- `tol` classes of the truth — used by
+  /// the people-count experiments ("errors up to two people").
+  double accuracy_within(std::size_t tol) const;
+  /// Precision of class c: TP / (TP + FP); 0 when no predictions of c.
+  double precision(std::size_t c) const;
+  /// Recall of class c: TP / (TP + FN); 0 when class absent.
+  double recall(std::size_t c) const;
+  /// Per-class F1 (harmonic mean of precision and recall).
+  double f1(std::size_t c) const;
+  /// Unweighted mean of per-class F1 — the paper's "F-measure".
+  double macro_f1() const;
+
+  /// Mean absolute error of the class index (counts treated as ordinal).
+  double mean_absolute_error() const;
+
+  void print(std::ostream& os,
+             const std::vector<std::string>& labels = {}) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> cells_;  // row = truth, col = predicted
+  std::size_t total_ = 0;
+};
+
+}  // namespace zeiot

@@ -1,0 +1,50 @@
+// Error handling primitives shared by every zeiot module.
+//
+// The library throws `zeiot::Error` (a std::runtime_error) for precondition
+// violations on public APIs.  Internal invariants use ZEIOT_CHECK, which is
+// active in all build types: simulation bugs must never silently corrupt an
+// experiment.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace zeiot {
+
+/// Exception type thrown by all zeiot modules on invalid arguments or
+/// violated invariants.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail_check(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ZEIOT_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace zeiot
+
+/// Always-on invariant check.  Throws zeiot::Error with location info.
+#define ZEIOT_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::zeiot::detail::fail_check(#expr, __FILE__, __LINE__, {});      \
+  } while (0)
+
+/// Invariant check with an explanatory message (streamed into a string).
+#define ZEIOT_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream zeiot_os_;                                    \
+      zeiot_os_ << msg;                                                \
+      ::zeiot::detail::fail_check(#expr, __FILE__, __LINE__,           \
+                                  zeiot_os_.str());                    \
+    }                                                                  \
+  } while (0)

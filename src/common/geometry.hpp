@@ -1,0 +1,127 @@
+// Planar geometry primitives for node deployments and grid sensing fields.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace zeiot {
+
+/// A point (or vector) in the 2-D deployment plane, metres.
+struct Point2D {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point2D operator+(Point2D a, Point2D b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend Point2D operator-(Point2D a, Point2D b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend Point2D operator*(Point2D a, double s) { return {a.x * s, a.y * s}; }
+  friend bool operator==(Point2D a, Point2D b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Euclidean distance between two points.
+inline double distance(Point2D a, Point2D b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// A point in 3-D space, metres (used by the RFID tag-array models where
+/// height matters).
+struct Point3D {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend Point3D operator+(Point3D a, Point3D b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend Point3D operator-(Point3D a, Point3D b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend Point3D operator*(Point3D a, double s) {
+    return {a.x * s, a.y * s, a.z * s};
+  }
+};
+
+/// Euclidean distance between two 3-D points.
+inline double distance(Point3D a, Point3D b) {
+  const double dx = a.x - b.x, dy = a.y - b.y, dz = a.z - b.z;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+/// Axis-aligned rectangle [x0,x1) x [y0,y1).
+struct Rect {
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double x1 = 0.0;
+  double y1 = 0.0;
+
+  double width() const { return x1 - x0; }
+  double height() const { return y1 - y0; }
+  bool contains(Point2D p) const {
+    return p.x >= x0 && p.x < x1 && p.y >= y0 && p.y < y1;
+  }
+  Point2D center() const { return {(x0 + x1) / 2.0, (y0 + y1) / 2.0}; }
+};
+
+/// Integer cell index into a W x H grid (column `x`, row `y`).
+struct CellIndex {
+  int x = 0;
+  int y = 0;
+  friend bool operator==(CellIndex a, CellIndex b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Maps continuous coordinates in `area` onto a `cols` x `rows` cell grid.
+class GridMapper {
+ public:
+  GridMapper(Rect area, int cols, int rows) : area_(area), cols_(cols), rows_(rows) {
+    ZEIOT_CHECK_MSG(cols > 0 && rows > 0, "GridMapper needs positive dims");
+    ZEIOT_CHECK_MSG(area.width() > 0 && area.height() > 0,
+                    "GridMapper needs a non-degenerate area");
+  }
+
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+  const Rect& area() const { return area_; }
+
+  /// Cell containing `p` (clamped to the grid for boundary points).
+  CellIndex cell_of(Point2D p) const {
+    auto cx = static_cast<int>((p.x - area_.x0) / area_.width() *
+                               static_cast<double>(cols_));
+    auto cy = static_cast<int>((p.y - area_.y0) / area_.height() *
+                               static_cast<double>(rows_));
+    cx = cx < 0 ? 0 : (cx >= cols_ ? cols_ - 1 : cx);
+    cy = cy < 0 ? 0 : (cy >= rows_ ? rows_ - 1 : cy);
+    return {cx, cy};
+  }
+
+  /// Centre point of a cell.
+  Point2D cell_center(CellIndex c) const {
+    ZEIOT_CHECK(c.x >= 0 && c.x < cols_ && c.y >= 0 && c.y < rows_);
+    return {area_.x0 + (static_cast<double>(c.x) + 0.5) * area_.width() /
+                           static_cast<double>(cols_),
+            area_.y0 + (static_cast<double>(c.y) + 0.5) * area_.height() /
+                           static_cast<double>(rows_)};
+  }
+
+  /// Row-major flat index of a cell.
+  std::size_t flat(CellIndex c) const {
+    ZEIOT_CHECK(c.x >= 0 && c.x < cols_ && c.y >= 0 && c.y < rows_);
+    return static_cast<std::size_t>(c.y) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(c.x);
+  }
+
+ private:
+  Rect area_;
+  int cols_;
+  int rows_;
+};
+
+}  // namespace zeiot

@@ -1,0 +1,67 @@
+// Streaming statistics used throughout the simulators and benches.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace zeiot {
+
+/// Welford's online mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+  /// Merges another accumulator into this one (parallel-combinable).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  /// Mean of the observed samples (0 if empty).
+  double mean() const { return mean_; }
+  /// Unbiased sample variance (0 if fewer than two samples).
+  double variance() const;
+  /// Sample standard deviation.
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bin so totals are preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t bin) const;
+  std::size_t total() const { return total_; }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_low(std::size_t bin) const;
+  double bin_high(std::size_t bin) const;
+  /// Linear-interpolated quantile estimate, q in [0,1].
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Exact percentile of a sample vector (copies and sorts; for bench output,
+/// not hot paths).  q in [0,1]; linear interpolation between order stats.
+double percentile(std::vector<double> samples, double q);
+
+/// Mean of a vector (0 if empty).
+double mean_of(const std::vector<double>& v);
+
+}  // namespace zeiot

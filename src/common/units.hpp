@@ -1,0 +1,47 @@
+// Radio/energy unit conversions and physical constants.
+//
+// All module APIs use SI internally (watts, joules, seconds, metres, hertz);
+// these helpers exist at the boundaries where the radio literature speaks in
+// dBm / dB.
+#pragma once
+
+#include <cmath>
+
+namespace zeiot {
+
+inline constexpr double kSpeedOfLight = 299'792'458.0;  // m/s
+inline constexpr double kBoltzmann = 1.380649e-23;      // J/K
+
+/// Converts a power in dBm to watts.
+inline double dbm_to_watt(double dbm) {
+  return std::pow(10.0, dbm / 10.0) * 1e-3;
+}
+
+/// Converts a power in watts to dBm.  Requires watt > 0.
+inline double watt_to_dbm(double watt) {
+  return 10.0 * std::log10(watt * 1e3);
+}
+
+/// Converts a dimensionless linear ratio to dB.  Requires ratio > 0.
+inline double ratio_to_db(double ratio) { return 10.0 * std::log10(ratio); }
+
+/// Converts dB to a linear ratio.
+inline double db_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Milliwatts to watts.
+inline constexpr double mw(double milliwatt) { return milliwatt * 1e-3; }
+
+/// Microwatts to watts.
+inline constexpr double uw(double microwatt) { return microwatt * 1e-6; }
+
+/// Thermal noise power in watts over `bandwidth_hz` at temperature
+/// `temp_kelvin` (default 290 K, the standard reference).
+inline double thermal_noise_watt(double bandwidth_hz,
+                                 double temp_kelvin = 290.0) {
+  return kBoltzmann * temp_kelvin * bandwidth_hz;
+}
+
+/// Wavelength (metres) of a carrier at `freq_hz`.
+inline double wavelength_m(double freq_hz) { return kSpeedOfLight / freq_hz; }
+
+}  // namespace zeiot

@@ -1,0 +1,64 @@
+// Synthetic IR sensor-array gait/fall streams — the substitute for the
+// paper's prototyped film-type IR array experiment (Sec. IV.C, Fig. 9):
+// 55 gait samples from five subjects imitating elders' falls, captured as
+// streams of 66 frames at 5 fps; 10-frame (2 s) sliding windows become the
+// 3-D arrays fed to a CNN with one conv, one pool and two FC layers.
+//
+// The kinematic model renders the subject as a heat blob on the array:
+// upright while walking (tall/narrow footprint), transitioning to lying
+// (wide/flat footprint) over a short fall, after which the blob stays
+// down.  Normal streams traverse the array at a per-subject speed; fall
+// streams stop mid-passage and collapse.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/dataset.hpp"
+
+namespace zeiot::datagen {
+
+struct IrGaitConfig {
+  int grid = 10;            // square sensor array (grid x grid)
+  int frames_per_stream = 66;
+  int window_frames = 10;   // 2 s at 5 fps
+  int num_streams = 55;
+  int num_subjects = 5;
+  /// Streams containing a fall event.
+  int fall_streams = 28;
+  /// Mirror-augment windows (doubles the dataset, as data augmentation of
+  /// the real experiment would).
+  bool mirror_augment = true;
+  /// Frames the fall transition spans.
+  int fall_duration_frames = 6;
+  /// A window is labelled "fall" when it overlaps at least this many
+  /// transition-or-later frames.
+  int fall_overlap_frames = 3;
+  /// Sensor noise per cell (relative to unit body heat).
+  double sensor_noise = 0.15;
+  /// Probability that a *normal* stream contains a crouch/sit-down pause —
+  /// the confusable non-fall behaviour that makes fall detection hard
+  /// (the subject lowers and widens, but does not go horizontal).
+  double crouch_prob = 0.5;
+  /// Label noise fraction (annotation ambiguity at transition boundaries).
+  double label_noise = 0.02;
+  std::uint64_t seed = 55;
+};
+
+struct IrStream {
+  /// frames_per_stream tensors of (grid x grid) heat intensity.
+  std::vector<ml::Tensor> frames;  // each (1, grid, grid)
+  /// Frame at which the fall begins (-1 for normal gait).
+  int fall_start = -1;
+  int subject = 0;
+};
+
+/// Renders one stream for `subject`; `fall` selects a fall passage.
+IrStream generate_ir_stream(const IrGaitConfig& cfg, int subject, bool fall,
+                            Rng& rng);
+
+/// Slides windows over all streams and stacks frames as channels:
+/// samples of shape (window_frames, grid, grid); label 1 = fall window.
+ml::Dataset generate_ir_dataset(const IrGaitConfig& cfg);
+
+}  // namespace zeiot::datagen

@@ -1,0 +1,54 @@
+// Synthetic lounge temperature field — the substitute for the paper's
+// MicroDeep experiment data (Sec. IV.C): a >1,400 m^2 lounge divided into
+// 25 x 17 cells, measured every 30 minutes by 50 temperature sensors from
+// Aug 26 to Oct 27 2016 (2,961 samples), labelled for "discomfort".
+//
+// The generator reproduces the statistical structure the CNN must exploit:
+// a seasonal + diurnal base temperature, smooth HVAC cooling zones, solar
+// gain along a window wall, and localized occupancy heat clusters.  A map
+// is labelled "discomfort" when some local region departs the comfort band
+// — a spatial pattern, so convolution genuinely helps.
+#pragma once
+
+#include "common/rng.hpp"
+#include "ml/dataset.hpp"
+
+namespace zeiot::datagen {
+
+struct TemperatureFieldConfig {
+  int cols = 25;
+  int rows = 17;
+  int num_samples = 2961;
+  /// Sampling interval (30 min) and season start (late August).
+  double sample_interval_s = 1800.0;
+  /// Comfort band; a map is uncomfortable when a kernel-sized region's
+  /// mean leaves [comfort_lo, comfort_hi].
+  double comfort_lo_c = 21.0;
+  double comfort_hi_c = 27.5;
+  int region_kernel = 3;
+  /// Occupancy clusters per map (Poisson mean) and their heat.
+  double clusters_mean = 1.2;
+  double cluster_heat_c = 4.0;
+  double cluster_sigma_cells = 1.6;
+  /// Sensor noise per cell (degrees C).
+  double sensor_noise_c = 0.25;
+  /// Label noise: fraction of labels flipped (measurement/annotation
+  /// ambiguity); caps the best achievable accuracy.
+  double label_noise = 0.015;
+  std::uint64_t seed = 2016;
+};
+
+struct TemperatureSample {
+  ml::Tensor map;  // (1, rows, cols), degrees C
+  int discomfort = 0;
+};
+
+/// Generates one sample at sample index `t`.
+TemperatureSample generate_temperature_sample(const TemperatureFieldConfig& cfg,
+                                              int t, Rng& rng);
+
+/// Generates the full dataset (shape (1, rows, cols), labels {0, 1}).
+/// Values are normalised to zero-mean/unit-ish scale for training.
+ml::Dataset generate_temperature_dataset(const TemperatureFieldConfig& cfg);
+
+}  // namespace zeiot::datagen

@@ -1,0 +1,50 @@
+#include "energy/storage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zeiot::energy {
+
+Capacitor::Capacitor(double capacitance_f, double v_max, double v_initial)
+    : capacitance_f_(capacitance_f), v_max_(v_max) {
+  ZEIOT_CHECK_MSG(capacitance_f > 0.0, "capacitance must be > 0");
+  ZEIOT_CHECK_MSG(v_max > 0.0, "v_max must be > 0");
+  ZEIOT_CHECK_MSG(v_initial >= 0.0 && v_initial <= v_max,
+                  "initial voltage out of range");
+  energy_j_ = 0.5 * capacitance_f_ * v_initial * v_initial;
+}
+
+double Capacitor::voltage() const {
+  return std::sqrt(2.0 * energy_j_ / capacitance_f_);
+}
+
+double Capacitor::capacity_joule() const {
+  return 0.5 * capacitance_f_ * v_max_ * v_max_;
+}
+
+void Capacitor::charge(double power_watt, double dt_s) {
+  ZEIOT_CHECK_MSG(power_watt >= 0.0, "charge power must be >= 0");
+  ZEIOT_CHECK_MSG(dt_s >= 0.0, "charge duration must be >= 0");
+  energy_j_ = std::min(capacity_joule(), energy_j_ + power_watt * dt_s);
+}
+
+bool Capacitor::draw(double energy_j) {
+  ZEIOT_CHECK_MSG(energy_j >= 0.0, "draw energy must be >= 0");
+  if (energy_j > energy_j_) return false;
+  energy_j_ -= energy_j;
+  return true;
+}
+
+HysteresisSwitch::HysteresisSwitch(double v_on, double v_off)
+    : v_on_(v_on), v_off_(v_off) {
+  ZEIOT_CHECK_MSG(v_off >= 0.0, "v_off must be >= 0");
+  ZEIOT_CHECK_MSG(v_on > v_off, "v_on must exceed v_off");
+}
+
+bool HysteresisSwitch::update(double voltage) {
+  if (on_ && voltage < v_off_) on_ = false;
+  else if (!on_ && voltage >= v_on_) on_ = true;
+  return on_;
+}
+
+}  // namespace zeiot::energy

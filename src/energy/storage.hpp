@@ -1,0 +1,52 @@
+// Capacitor energy storage with turn-on/turn-off hysteresis — the standard
+// operating regime of batteryless (intermittent-computing) devices: the
+// device boots when the capacitor reaches V_on and dies below V_off.
+#pragma once
+
+#include "common/error.hpp"
+
+namespace zeiot::energy {
+
+/// Ideal capacitor: E = 1/2 C V^2, charged by harvested power, discharged by
+/// task energy draws.
+class Capacitor {
+ public:
+  /// `capacitance_f` in farads, `v_max` the rail clamp voltage.
+  Capacitor(double capacitance_f, double v_max, double v_initial = 0.0);
+
+  double voltage() const;
+  double energy_joule() const { return energy_j_; }
+  double capacity_joule() const;
+
+  /// Integrates `power_watt` for `dt_s` seconds, clamping at the rail.
+  void charge(double power_watt, double dt_s);
+
+  /// Attempts to draw `energy_j`; returns false (and draws nothing) if the
+  /// stored energy is insufficient.
+  bool draw(double energy_j);
+
+ private:
+  double capacitance_f_;
+  double v_max_;
+  double energy_j_;
+};
+
+/// Hysteretic power-management front end: tracks whether the device is in
+/// the ON region.  Turn-on at `v_on`, turn-off at `v_off` (< v_on).
+class HysteresisSwitch {
+ public:
+  HysteresisSwitch(double v_on, double v_off);
+
+  /// Updates and returns the ON/OFF state for the given capacitor voltage.
+  bool update(double voltage);
+  bool is_on() const { return on_; }
+  double v_on() const { return v_on_; }
+  double v_off() const { return v_off_; }
+
+ private:
+  double v_on_;
+  double v_off_;
+  bool on_ = false;
+};
+
+}  // namespace zeiot::energy

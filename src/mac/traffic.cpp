@@ -1,0 +1,34 @@
+#include "mac/traffic.hpp"
+
+namespace zeiot::mac {
+
+PoissonSource::PoissonSource(double rate_hz, std::size_t payload_bytes,
+                             Rng rng)
+    : rate_hz_(rate_hz), bytes_(payload_bytes), rng_(rng) {
+  ZEIOT_CHECK_MSG(rate_hz > 0.0, "rate must be > 0");
+  ZEIOT_CHECK_MSG(payload_bytes > 0, "payload must be > 0");
+}
+
+double PoissonSource::next_interarrival() {
+  return rng_.exponential(rate_hz_);
+}
+
+PeriodicSource::PeriodicSource(double period_s, std::size_t payload_bytes,
+                               Rng rng, double jitter_fraction)
+    : period_s_(period_s),
+      bytes_(payload_bytes),
+      rng_(rng),
+      jitter_fraction_(jitter_fraction) {
+  ZEIOT_CHECK_MSG(period_s > 0.0, "period must be > 0");
+  ZEIOT_CHECK_MSG(payload_bytes > 0, "payload must be > 0");
+  ZEIOT_CHECK_MSG(jitter_fraction >= 0.0 && jitter_fraction < 1.0,
+                  "jitter fraction in [0,1)");
+}
+
+double PeriodicSource::next_interarrival() {
+  if (jitter_fraction_ == 0.0) return period_s_;
+  return period_s_ *
+         (1.0 + rng_.uniform(-jitter_fraction_, jitter_fraction_));
+}
+
+}  // namespace zeiot::mac

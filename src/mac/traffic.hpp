@@ -1,0 +1,46 @@
+// Packet arrival processes feeding the MAC/coexistence simulators.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+
+namespace zeiot::mac {
+
+/// Interface: time until the next packet arrival (seconds from now).
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+  virtual double next_interarrival() = 0;
+  virtual std::size_t payload_bytes() const = 0;
+};
+
+/// Poisson arrivals at `rate_hz` packets/second.
+class PoissonSource final : public TrafficSource {
+ public:
+  PoissonSource(double rate_hz, std::size_t payload_bytes, Rng rng);
+  double next_interarrival() override;
+  std::size_t payload_bytes() const override { return bytes_; }
+
+ private:
+  double rate_hz_;
+  std::size_t bytes_;
+  Rng rng_;
+};
+
+/// Strictly periodic arrivals with optional uniform jitter fraction.
+class PeriodicSource final : public TrafficSource {
+ public:
+  PeriodicSource(double period_s, std::size_t payload_bytes, Rng rng,
+                 double jitter_fraction = 0.0);
+  double next_interarrival() override;
+  std::size_t payload_bytes() const override { return bytes_; }
+
+ private:
+  double period_s_;
+  std::size_t bytes_;
+  Rng rng_;
+  double jitter_fraction_;
+};
+
+}  // namespace zeiot::mac

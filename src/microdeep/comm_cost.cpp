@@ -1,0 +1,160 @@
+#include "microdeep/comm_cost.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace zeiot::microdeep {
+
+namespace {
+
+/// Picks the next hop from `cur` toward `dst`: among the neighbours one
+/// hop closer to `dst`, the one with the least accumulated load — the
+/// load-balancing multi-parent routing WSN collection protocols use.
+/// Falls back to the BFS next hop (always valid on a connected graph).
+NodeId pick_next_hop(const WsnTopology& wsn, NodeId cur, NodeId dst,
+                     const std::vector<double>& per_node) {
+  const int cur_hops = wsn.hops(cur, dst);
+  NodeId best = wsn.next_hop(cur, dst);
+  double best_load = per_node[best];
+  for (NodeId v : wsn.neighbors(cur)) {
+    if (wsn.hops(v, dst) != cur_hops - 1) continue;
+    if (per_node[v] < best_load) {
+      best_load = per_node[v];
+      best = v;
+    }
+  }
+  return best;
+}
+
+/// Charges one message from `src` to `dst` along a load-aware route.
+void charge_route(const WsnTopology& wsn, NodeId src, NodeId dst,
+                  std::vector<double>& per_node, bool multihop,
+                  double& hop_txs) {
+  if (src == dst) return;
+  if (!multihop) {
+    per_node[src] += 1.0;  // tx
+    per_node[dst] += 1.0;  // rx
+    hop_txs += 1.0;
+    return;
+  }
+  NodeId cur = src;
+  while (cur != dst) {
+    const NodeId nxt = pick_next_hop(wsn, cur, dst, per_node);
+    per_node[cur] += 1.0;  // tx of this hop
+    per_node[nxt] += 1.0;  // rx of this hop
+    hop_txs += 1.0;
+    cur = nxt;
+  }
+}
+
+/// Charges the aggregation tree for one dense unit hosted on `root`:
+/// partial sums flow from every node in `sources` toward `root` along
+/// load-aware routes (their union forms the tree); each tree edge carries
+/// one value up (forward) and, if requested, one error value down
+/// (backward).
+void charge_aggregation_tree(const WsnTopology& wsn, NodeId root,
+                             const std::unordered_set<NodeId>& sources,
+                             bool include_backward, bool multihop,
+                             CommCostReport& r) {
+  // Tree edges as (child -> parent) pairs, deduplicated.
+  std::unordered_set<std::uint64_t> tree_edges;
+  // Parent chosen per child so the structure is a tree, not a DAG.
+  std::unordered_map<NodeId, NodeId> parent_of;
+  auto add_edge = [&](NodeId child, NodeId parent) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(child) << 32) | parent;
+    if (!tree_edges.insert(key).second) return;
+    const double passes = include_backward ? 2.0 : 1.0;
+    r.per_node[child] += passes;   // tx up (+ rx down)
+    r.per_node[parent] += passes;  // rx up (+ tx down)
+    r.total_hop_transmissions += passes;
+  };
+  for (NodeId src : sources) {
+    if (src == root) continue;
+    if (!multihop) {
+      add_edge(src, root);
+      continue;
+    }
+    NodeId cur = src;
+    while (cur != root) {
+      const auto it = parent_of.find(cur);
+      NodeId nxt;
+      if (it != parent_of.end()) {
+        nxt = it->second;  // joins the existing tree branch
+      } else {
+        nxt = pick_next_hop(wsn, cur, root, r.per_node);
+        parent_of.emplace(cur, nxt);
+      }
+      add_edge(cur, nxt);
+      cur = nxt;
+    }
+  }
+  const double edges = static_cast<double>(tree_edges.size());
+  r.total_messages += include_backward ? 2.0 * edges : edges;
+}
+
+}  // namespace
+
+CommCostReport compute_comm_cost(const Assignment& assignment,
+                                 const WsnTopology& wsn,
+                                 const CommCostOptions& opts) {
+  const UnitGraph& g = assignment.graph();
+  CommCostReport r;
+  r.per_node.assign(wsn.num_nodes(), 0.0);
+
+  const auto& layers = g.layers();
+  const UnitLayer& input = layers.front();
+  const UnitId input_end =
+      input.first_unit + static_cast<UnitId>(input.num_units());
+
+  // Unicast part: spatial-layer edges, deduplicated per (producer unit,
+  // consumer node) — an activation is broadcast once per destination node
+  // regardless of how many consumer units live there.
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(g.edges().size());
+  // Aggregation part: per dense destination unit, the set of source nodes.
+  std::unordered_map<UnitId, std::unordered_set<NodeId>> dense_sources;
+
+  for (const UnitEdge& e : g.edges()) {
+    const NodeId src_node = assignment.node_of(e.src);
+    const NodeId dst_node = assignment.node_of(e.dst);
+    const std::size_t dst_layer = g.layer_of(e.dst);
+    const bool dense_dst =
+        opts.aggregate_dense && layers[dst_layer].kind == UnitLayer::Kind::Dense;
+    if (dense_dst) {
+      if (src_node != dst_node) dense_sources[e.dst].insert(src_node);
+      continue;
+    }
+    if (src_node == dst_node) continue;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(e.src) << 32) | dst_node;
+    if (!seen.insert(key).second) continue;
+    r.total_messages += 1.0;
+    charge_route(wsn, src_node, dst_node, r.per_node, opts.multihop,
+                 r.total_hop_transmissions);
+    // The error signal retraces the route in reverse — but only producers
+    // that themselves have trainable inputs need it: sensing (input-layer)
+    // units receive no backpropagated error.
+    if (opts.include_backward && e.src >= input_end) {
+      r.total_messages += 1.0;
+      charge_route(wsn, dst_node, src_node, r.per_node, opts.multihop,
+                   r.total_hop_transmissions);
+    }
+  }
+
+  for (const auto& [unit, sources] : dense_sources) {
+    charge_aggregation_tree(wsn, assignment.node_of(unit), sources,
+                            opts.include_backward, opts.multihop, r);
+  }
+
+  const auto it = std::max_element(r.per_node.begin(), r.per_node.end());
+  r.hottest_node = static_cast<NodeId>(it - r.per_node.begin());
+  r.max_cost = *it;
+  double sum = 0.0;
+  for (double c : r.per_node) sum += c;
+  r.mean_cost = sum / static_cast<double>(r.per_node.size());
+  return r;
+}
+
+}  // namespace zeiot::microdeep

@@ -1,0 +1,55 @@
+// Communication-cost accounting for a distributed CNN (Fig. 10 of the
+// paper: "communication costs of the sensor nodes").
+//
+// One forward pass sends, for every (producer unit -> consumer node) pair
+// with distinct endpoints, one message routed along the WSN shortest path;
+// every hop charges one transmission to the hop source and one reception to
+// the hop destination.  Messages to the same destination node are
+// deduplicated per producer unit (an activation is broadcast once per
+// destination, however many consumer units live there).  The backward pass
+// retraces the same routes in reverse; weight updates are node-local and
+// free, matching the paper's design.
+#pragma once
+
+#include <vector>
+
+#include "microdeep/assignment.hpp"
+
+namespace zeiot::microdeep {
+
+struct CommCostOptions {
+  /// Include the backward pass (training); inference-only when false.
+  bool include_backward = true;
+  /// Route over WSN shortest paths, charging relays.  When false, only the
+  /// two endpoints are charged (single-hop abstraction).
+  bool multihop = true;
+  /// In-network aggregation for fully-connected layers: a dense unit's
+  /// weighted sum is accumulated as partial sums along the routing tree
+  /// toward its node (and the error broadcast back down the same tree),
+  /// so each tree edge carries exactly one value per pass.  This is how a
+  /// WSN implementation realises FC layers ("averaging communication and
+  /// processing tasks over wireless sensor nodes"); without it the
+  /// all-to-all fan-in of a dense layer swamps every assignment.  Spatial
+  /// (conv/pool) layers always use unicast messages — their raw
+  /// activations cannot be combined en route.
+  bool aggregate_dense = true;
+};
+
+struct CommCostReport {
+  /// Per-node cost: transmissions + receptions per sample.
+  std::vector<double> per_node;
+  double max_cost = 0.0;
+  double mean_cost = 0.0;
+  double total_messages = 0.0;  // end-to-end messages (not hop count)
+  double total_hop_transmissions = 0.0;
+  /// Index of the most loaded node.
+  NodeId hottest_node = 0;
+};
+
+/// Computes the per-node communication cost of running the assigned network
+/// once over the WSN.
+CommCostReport compute_comm_cost(const Assignment& assignment,
+                                 const WsnTopology& wsn,
+                                 const CommCostOptions& opts = {});
+
+}  // namespace zeiot::microdeep

@@ -1,0 +1,230 @@
+#include "microdeep/executor.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+namespace zeiot::microdeep {
+
+namespace {
+
+/// Per-unit state during the walk: the activation vector (length =
+/// channels of its unit layer) and the time it becomes available on its
+/// node.
+struct UnitState {
+  std::vector<float> act;
+  double ready_at = 0.0;
+};
+
+/// Applies the node-serialization timing for one unit layer: units on the
+/// same node execute sequentially in input-arrival order.
+void serialize_layer(const UnitGraph& graph, const Assignment& assignment,
+                     std::size_t layer_index, const LatencyModel& lat,
+                     std::vector<UnitState>& units,
+                     const std::vector<double>& input_arrival,
+                     std::size_t num_nodes) {
+  const UnitLayer& l = graph.layers()[layer_index];
+  // Collect this layer's units per node, ordered by arrival time.
+  std::vector<std::vector<UnitId>> per_node(num_nodes);
+  for (int i = 0; i < l.num_units(); ++i) {
+    const UnitId u = l.first_unit + static_cast<UnitId>(i);
+    per_node[assignment.node_of(u)].push_back(u);
+  }
+  for (auto& list : per_node) {
+    std::sort(list.begin(), list.end(), [&](UnitId a, UnitId b) {
+      return input_arrival[a] < input_arrival[b];
+    });
+    double node_free = 0.0;
+    for (UnitId u : list) {
+      const double start = std::max(node_free, input_arrival[u]);
+      const double done = start + lat.unit_compute_s;
+      units[u].ready_at = done;
+      node_free = done;
+    }
+  }
+}
+
+}  // namespace
+
+ExecutionResult execute_distributed(ml::Network& net, const UnitGraph& graph,
+                                    const Assignment& assignment,
+                                    const WsnTopology& wsn,
+                                    const ml::Tensor& sample,
+                                    const LatencyModel& lat) {
+  ZEIOT_CHECK_MSG(sample.ndim() == 3, "sample must be (C,H,W)");
+  const auto& layers = graph.layers();
+  const UnitLayer& input = layers.front();
+  ZEIOT_CHECK_MSG(sample.dim(0) == input.channels &&
+                      sample.dim(1) == input.height &&
+                      sample.dim(2) == input.width,
+                  "sample shape does not match the unit graph input");
+  ZEIOT_CHECK_MSG(lat.hop_latency_s >= 0.0 && lat.unit_compute_s >= 0.0,
+                  "latency parameters must be >= 0");
+
+  std::vector<UnitState> units(graph.num_units());
+  // Input units: the sensed channel vector, available at t = 0.
+  for (int y = 0; y < input.height; ++y) {
+    for (int x = 0; x < input.width; ++x) {
+      const UnitId u =
+          input.first_unit + static_cast<UnitId>(y * input.width + x);
+      units[u].act.resize(static_cast<std::size_t>(input.channels));
+      for (int c = 0; c < input.channels; ++c) {
+        units[u].act[static_cast<std::size_t>(c)] = sample.at({c, y, x});
+      }
+      units[u].ready_at = 0.0;
+    }
+  }
+
+  ExecutionResult res;
+  std::unordered_set<std::uint64_t> message_dedup;
+
+  // The message arrival time of `src`'s activation at `dst`'s node, also
+  // counting the (deduplicated) message.
+  auto arrival = [&](UnitId src, UnitId dst) {
+    const NodeId sn = assignment.node_of(src);
+    const NodeId dn = assignment.node_of(dst);
+    if (sn == dn) return units[src].ready_at;
+    const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dn;
+    if (message_dedup.insert(key).second) res.total_messages += 1.0;
+    return units[src].ready_at +
+           lat.hop_latency_s * static_cast<double>(wsn.hops(sn, dn));
+  };
+
+  // Walk the network layer by layer, mirroring UnitGraph::build's mapping.
+  std::size_t unit_layer = 0;  // current (producer) unit layer index
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    ml::Layer& layer = net.layer(li);
+    const int produced = graph.unit_layer_of_net_layer(li);
+    if (produced < 0) {
+      // Elementwise / reshaping layer: acts in place on the current units.
+      if (dynamic_cast<ml::ReLU*>(&layer) != nullptr) {
+        const UnitLayer& cur = layers[unit_layer];
+        for (int i = 0; i < cur.num_units(); ++i) {
+          for (float& v :
+               units[cur.first_unit + static_cast<UnitId>(i)].act) {
+            v = std::max(0.0f, v);
+          }
+        }
+      }
+      // Flatten and Dropout (inference) do not change unit activations.
+      continue;
+    }
+
+    const auto pl = static_cast<std::size_t>(produced);
+    const UnitLayer& out = layers[pl];
+    const UnitLayer& in = layers[unit_layer];
+    std::vector<double> input_arrival(graph.num_units(), 0.0);
+
+    if (const auto* conv = dynamic_cast<const ml::Conv2D*>(&layer)) {
+      const auto params = const_cast<ml::Conv2D*>(conv)->params();
+      const ml::Tensor& w = params[0]->value;  // (oc, ic, k, k)
+      const ml::Tensor& b = params[1]->value;
+      const int p = conv->padding();
+      for (int oy = 0; oy < out.height; ++oy) {
+        for (int ox = 0; ox < out.width; ++ox) {
+          const UnitId u =
+              out.first_unit + static_cast<UnitId>(oy * out.width + ox);
+          auto& acc = units[u].act;
+          acc.assign(static_cast<std::size_t>(out.channels), 0.0f);
+          for (int oc = 0; oc < out.channels; ++oc) {
+            acc[static_cast<std::size_t>(oc)] =
+                b[static_cast<std::size_t>(oc)];
+          }
+          double latest = 0.0;
+          for (const UnitId src : graph.graph_neighbors(u)) {
+            if (src < in.first_unit ||
+                src >= in.first_unit + static_cast<UnitId>(in.num_units())) {
+              continue;  // neighbour in the *next* layer, not an input
+            }
+            const int local = static_cast<int>(src - in.first_unit);
+            const int sy = local / in.width;
+            const int sx = local % in.width;
+            const int ky = sy - oy + p;
+            const int kx = sx - ox + p;
+            ZEIOT_CHECK(ky >= 0 && ky < conv->kernel() && kx >= 0 &&
+                        kx < conv->kernel());
+            for (int oc = 0; oc < out.channels; ++oc) {
+              float dot = 0.0f;
+              for (int ic = 0; ic < in.channels; ++ic) {
+                dot += w.at({oc, ic, ky, kx}) *
+                       units[src].act[static_cast<std::size_t>(ic)];
+              }
+              acc[static_cast<std::size_t>(oc)] += dot;
+            }
+            latest = std::max(latest, arrival(src, u));
+          }
+          input_arrival[u] = latest;
+        }
+      }
+    } else if (const auto* pool = dynamic_cast<const ml::MaxPool2D*>(&layer)) {
+      (void)pool;
+      for (int oy = 0; oy < out.height; ++oy) {
+        for (int ox = 0; ox < out.width; ++ox) {
+          const UnitId u =
+              out.first_unit + static_cast<UnitId>(oy * out.width + ox);
+          auto& acc = units[u].act;
+          acc.assign(static_cast<std::size_t>(out.channels),
+                     -std::numeric_limits<float>::infinity());
+          double latest = 0.0;
+          for (const UnitId src : graph.graph_neighbors(u)) {
+            if (src < in.first_unit ||
+                src >= in.first_unit + static_cast<UnitId>(in.num_units())) {
+              continue;
+            }
+            for (int c = 0; c < out.channels; ++c) {
+              acc[static_cast<std::size_t>(c)] =
+                  std::max(acc[static_cast<std::size_t>(c)],
+                           units[src].act[static_cast<std::size_t>(c)]);
+            }
+            latest = std::max(latest, arrival(src, u));
+          }
+          input_arrival[u] = latest;
+        }
+      }
+    } else if (const auto* dense = dynamic_cast<const ml::Dense*>(&layer)) {
+      const auto params = const_cast<ml::Dense*>(dense)->params();
+      const ml::Tensor& w = params[0]->value;  // (out, in_features)
+      const ml::Tensor& b = params[1]->value;
+      for (int o = 0; o < out.num_units(); ++o) {
+        const UnitId u = out.first_unit + static_cast<UnitId>(o);
+        units[u].act.assign(1, b[static_cast<std::size_t>(o)]);
+        double latest = 0.0;
+        for (int s = 0; s < in.num_units(); ++s) {
+          const UnitId src = in.first_unit + static_cast<UnitId>(s);
+          // Flatten order is NCHW: feature index = ic*H*W + (y*W + x).
+          float dot = 0.0f;
+          for (int ic = 0; ic < in.channels; ++ic) {
+            const int feature = ic * in.num_units() + s;
+            dot += w.at({o, feature}) *
+                   units[src].act[static_cast<std::size_t>(ic)];
+          }
+          units[u].act[0] += dot;
+          latest = std::max(latest, arrival(src, u));
+        }
+        input_arrival[u] = latest;
+      }
+    } else {
+      throw Error("execute_distributed: unsupported layer " + layer.name());
+    }
+
+    serialize_layer(graph, assignment, pl, lat, units, input_arrival,
+                    wsn.num_nodes());
+    unit_layer = pl;
+  }
+
+  // Emit the logits of the final unit layer.
+  const UnitLayer& last = layers.back();
+  ZEIOT_CHECK_MSG(last.kind == UnitLayer::Kind::Dense,
+                  "network must end in a dense (logit) layer");
+  res.output = ml::Tensor({1, last.num_units()});
+  double latency = 0.0;
+  for (int i = 0; i < last.num_units(); ++i) {
+    const UnitId u = last.first_unit + static_cast<UnitId>(i);
+    res.output.at({0, i}) = units[u].act[0];
+    latency = std::max(latency, units[u].ready_at);
+  }
+  res.inference_latency_s = latency;
+  return res;
+}
+
+}  // namespace zeiot::microdeep

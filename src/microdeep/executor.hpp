@@ -1,0 +1,51 @@
+// Distributed forward-pass executor: runs inference the way the deployed
+// system would — each unit computed on its assigned node from activations
+// that arrive as messages over the WSN — rather than as centralized tensor
+// ops.
+//
+// Two purposes:
+//  1. *Validation*: the per-unit dataflow over the unit graph must
+//     reproduce ml::Network::forward exactly; any divergence means the
+//     unit graph's edges do not match the layers' real dependencies (the
+//     test suite asserts equality to float precision).
+//  2. *Latency*: a timing model exposing the second benefit of
+//     distribution the paper implies: a sink node must compute every unit
+//     sequentially, while spread units compute in parallel across nodes,
+//     so the distributed assignment wins on inference latency as well as
+//     on peak traffic.
+#pragma once
+
+#include "microdeep/assignment.hpp"
+#include "ml/network.hpp"
+
+namespace zeiot::microdeep {
+
+struct LatencyModel {
+  /// One-hop transfer time of one activation message.
+  double hop_latency_s = 2e-3;
+  /// Compute time of one unit on a sensor-node MCU.
+  double unit_compute_s = 100e-6;
+};
+
+struct ExecutionResult {
+  /// Logits, shape (1, K) — must equal Network::forward on the sample.
+  ml::Tensor output;
+  /// End-to-end inference latency under the timing model: message
+  /// arrivals over load-oblivious shortest paths plus per-node serial
+  /// execution of its units.
+  double inference_latency_s = 0.0;
+  /// Cross-node activation messages of the forward pass (deduplicated per
+  /// (producer unit, consumer node), unicast accounting).
+  double total_messages = 0.0;
+};
+
+/// Executes one (C,H,W) sample through `net` using only the unit-graph
+/// dataflow and the assignment.  `net` must be the network the graph was
+/// built from.
+ExecutionResult execute_distributed(ml::Network& net, const UnitGraph& graph,
+                                    const Assignment& assignment,
+                                    const WsnTopology& wsn,
+                                    const ml::Tensor& sample,
+                                    const LatencyModel& lat = {});
+
+}  // namespace zeiot::microdeep

@@ -1,0 +1,100 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace zeiot::ml {
+
+void Dataset::add(Tensor x, int label) {
+  ZEIOT_CHECK_MSG(label >= 0, "labels must be >= 0");
+  if (!xs_.empty()) {
+    ZEIOT_CHECK_MSG(x.shape() == xs_.front().shape(),
+                    "sample shape " << x.shape_str() << " != dataset shape "
+                                    << xs_.front().shape_str());
+  }
+  xs_.push_back(std::move(x));
+  ys_.push_back(label);
+}
+
+const Tensor& Dataset::x(std::size_t i) const {
+  ZEIOT_CHECK(i < xs_.size());
+  return xs_[i];
+}
+
+int Dataset::label(std::size_t i) const {
+  ZEIOT_CHECK(i < ys_.size());
+  return ys_[i];
+}
+
+std::vector<int> Dataset::sample_shape() const {
+  return xs_.empty() ? std::vector<int>{} : xs_.front().shape();
+}
+
+int Dataset::num_classes() const {
+  int mx = -1;
+  for (int y : ys_) mx = std::max(mx, y);
+  return mx + 1;
+}
+
+std::pair<Tensor, std::vector<int>> Dataset::batch(
+    const std::vector<std::size_t>& indices) const {
+  ZEIOT_CHECK_MSG(!indices.empty(), "empty batch");
+  std::vector<int> shape = sample_shape();
+  shape.insert(shape.begin(), static_cast<int>(indices.size()));
+  Tensor xb(shape);
+  std::vector<int> yb;
+  yb.reserve(indices.size());
+  const std::size_t stride = xs_.front().size();
+  for (std::size_t bi = 0; bi < indices.size(); ++bi) {
+    const std::size_t i = indices[bi];
+    ZEIOT_CHECK(i < xs_.size());
+    std::copy(xs_[i].data(), xs_[i].data() + stride, xb.data() + bi * stride);
+    yb.push_back(ys_[i]);
+  }
+  return {std::move(xb), std::move(yb)};
+}
+
+std::pair<Dataset, Dataset> Dataset::split(Rng& rng,
+                                           double train_fraction) const {
+  ZEIOT_CHECK_MSG(train_fraction > 0.0 && train_fraction < 1.0,
+                  "train fraction must be in (0,1)");
+  ZEIOT_CHECK_MSG(size() >= 2, "need >= 2 samples to split");
+  auto order = rng.permutation(size());
+  auto n_train = static_cast<std::size_t>(train_fraction *
+                                          static_cast<double>(size()));
+  n_train = std::clamp<std::size_t>(n_train, 1, size() - 1);
+  Dataset train, test;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    auto& side = k < n_train ? train : test;
+    side.add(xs_[order[k]], ys_[order[k]]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+std::pair<Dataset, Dataset> Dataset::stratified_split(
+    Rng& rng, double train_fraction) const {
+  ZEIOT_CHECK_MSG(train_fraction > 0.0 && train_fraction < 1.0,
+                  "train fraction must be in (0,1)");
+  ZEIOT_CHECK_MSG(size() >= 2, "need >= 2 samples to split");
+  std::map<int, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < size(); ++i) by_class[ys_[i]].push_back(i);
+  Dataset train, test;
+  for (auto& [label, idx] : by_class) {
+    (void)label;
+    rng.shuffle(idx);
+    auto n_train = static_cast<std::size_t>(train_fraction *
+                                            static_cast<double>(idx.size()));
+    if (idx.size() >= 2) {
+      n_train = std::clamp<std::size_t>(n_train, 1, idx.size() - 1);
+    }
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      auto& side = k < n_train ? train : test;
+      side.add(xs_[idx[k]], ys_[idx[k]]);
+    }
+  }
+  ZEIOT_CHECK_MSG(!train.empty() && !test.empty(),
+                  "stratified split produced an empty side");
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace zeiot::ml

@@ -1,0 +1,48 @@
+// Labelled dataset container with batching and deterministic splits.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/tensor.hpp"
+
+namespace zeiot::ml {
+
+/// A set of equally shaped feature tensors with integer class labels.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Adds one sample; all samples must share the same shape.
+  void add(Tensor x, int label);
+
+  std::size_t size() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+  const Tensor& x(std::size_t i) const;
+  int label(std::size_t i) const;
+  const std::vector<int>& labels() const { return ys_; }
+  /// Shape of one sample (empty if the dataset is empty).
+  std::vector<int> sample_shape() const;
+  /// Number of distinct classes = max label + 1.
+  int num_classes() const;
+
+  /// Stacks the samples at `indices` into a batch tensor (N prepended to the
+  /// sample shape) and the matching label vector.
+  std::pair<Tensor, std::vector<int>> batch(
+      const std::vector<std::size_t>& indices) const;
+
+  /// Deterministic shuffled split: first ~`train_fraction` to train.
+  /// Guarantees both sides non-empty when size >= 2.
+  std::pair<Dataset, Dataset> split(Rng& rng, double train_fraction) const;
+
+  /// Stratified split preserving class proportions on both sides.
+  std::pair<Dataset, Dataset> stratified_split(Rng& rng,
+                                               double train_fraction) const;
+
+ private:
+  std::vector<Tensor> xs_;
+  std::vector<int> ys_;
+};
+
+}  // namespace zeiot::ml

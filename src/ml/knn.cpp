@@ -1,0 +1,75 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace zeiot::ml {
+
+KnnClassifier::KnnClassifier(int k) : k_(k) {
+  ZEIOT_CHECK_MSG(k > 0, "kNN requires k > 0");
+}
+
+void KnnClassifier::fit(FeatureMatrix x, LabelVector y) {
+  ZEIOT_CHECK_MSG(!x.empty() && x.size() == y.size(),
+                  "kNN fit requires aligned non-empty x/y");
+  const std::size_t d = x.front().size();
+  int mx = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ZEIOT_CHECK_MSG(x[i].size() == d, "ragged feature matrix");
+    ZEIOT_CHECK_MSG(y[i] >= 0, "labels must be >= 0");
+    mx = std::max(mx, y[i]);
+  }
+  x_ = std::move(x);
+  y_ = std::move(y);
+  num_classes_ = mx + 1;
+}
+
+int KnnClassifier::predict(const std::vector<double>& row) const {
+  ZEIOT_CHECK_MSG(!x_.empty(), "kNN predict before fit");
+  ZEIOT_CHECK_MSG(row.size() == x_.front().size(), "feature count mismatch");
+  // Partial selection of the k smallest distances.
+  std::vector<std::pair<double, int>> dist;  // (d^2, label)
+  dist.reserve(x_.size());
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      const double dv = row[j] - x_[i][j];
+      d2 += dv * dv;
+    }
+    dist.emplace_back(d2, y_[i]);
+  }
+  const std::size_t k = std::min<std::size_t>(static_cast<std::size_t>(k_),
+                                              dist.size());
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<long>(k),
+                    dist.end());
+  std::vector<int> votes(static_cast<std::size_t>(num_classes_), 0);
+  std::vector<double> vote_dist(static_cast<std::size_t>(num_classes_), 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    ++votes[static_cast<std::size_t>(dist[i].second)];
+    vote_dist[static_cast<std::size_t>(dist[i].second)] += dist[i].first;
+  }
+  int best = 0;
+  for (int c = 1; c < num_classes_; ++c) {
+    const auto cc = static_cast<std::size_t>(c);
+    const auto cb = static_cast<std::size_t>(best);
+    if (votes[cc] > votes[cb] ||
+        (votes[cc] == votes[cb] && vote_dist[cc] < vote_dist[cb])) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+double KnnClassifier::score(const FeatureMatrix& x, const LabelVector& y) const {
+  ZEIOT_CHECK_MSG(x.size() == y.size() && !x.empty(),
+                  "score requires aligned non-empty x/y");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (predict(x[i]) == y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(x.size());
+}
+
+}  // namespace zeiot::ml

@@ -1,0 +1,33 @@
+// k-nearest-neighbour classifier (Euclidean), used by the CSI localization
+// pipeline where the paper's system matches captured feedback frames against
+// labelled recordings.
+#pragma once
+
+#include "ml/features.hpp"
+
+namespace zeiot::ml {
+
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(int k = 5);
+
+  /// Stores the training set (copies).  Rows must be rectangular.
+  void fit(FeatureMatrix x, LabelVector y);
+
+  /// Majority vote among the k nearest training rows; ties break toward the
+  /// nearer neighbour set (lower summed distance).
+  int predict(const std::vector<double>& row) const;
+
+  /// Batch accuracy.
+  double score(const FeatureMatrix& x, const LabelVector& y) const;
+
+  int k() const { return k_; }
+
+ private:
+  int k_;
+  FeatureMatrix x_;
+  LabelVector y_;
+  int num_classes_ = 0;
+};
+
+}  // namespace zeiot::ml

@@ -1,0 +1,314 @@
+#include "ml/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace zeiot::ml {
+
+namespace {
+
+void check_nchw(const Tensor& x, const char* who) {
+  ZEIOT_CHECK_MSG(x.ndim() == 4, who << " expects NCHW input, got rank "
+                                     << x.ndim());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Conv2D --
+
+Conv2D::Conv2D(int in_channels, int out_channels, int kernel, int padding,
+               Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      padding_(padding) {
+  ZEIOT_CHECK_MSG(in_channels > 0 && out_channels > 0, "channels must be > 0");
+  ZEIOT_CHECK_MSG(kernel > 0, "kernel must be > 0");
+  ZEIOT_CHECK_MSG(padding >= 0, "padding must be >= 0");
+  weight_.value = Tensor({out_channels, in_channels, kernel, kernel});
+  weight_.value.he_init(rng, in_channels * kernel * kernel);
+  weight_.grad = Tensor::zeros_like(weight_.value);
+  bias_.value = Tensor({out_channels});
+  bias_.grad = Tensor::zeros_like(bias_.value);
+}
+
+std::vector<int> Conv2D::output_shape(const std::vector<int>& in) const {
+  ZEIOT_CHECK_MSG(in.size() == 3, "conv2d input shape must be (C,H,W)");
+  ZEIOT_CHECK_MSG(in[0] == in_channels_, "conv2d channel mismatch");
+  const int oh = in[1] + 2 * padding_ - kernel_ + 1;
+  const int ow = in[2] + 2 * padding_ - kernel_ + 1;
+  ZEIOT_CHECK_MSG(oh > 0 && ow > 0, "conv2d output would be empty");
+  return {out_channels_, oh, ow};
+}
+
+Tensor Conv2D::forward(const Tensor& x, bool /*train*/) {
+  check_nchw(x, "Conv2D");
+  ZEIOT_CHECK_MSG(x.dim(1) == in_channels_, "Conv2D channel mismatch: got "
+                                                << x.dim(1) << " expected "
+                                                << in_channels_);
+  cached_x_ = x;
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int oh = h + 2 * padding_ - kernel_ + 1;
+  const int ow = w + 2 * padding_ - kernel_ + 1;
+  ZEIOT_CHECK_MSG(oh > 0 && ow > 0, "Conv2D output would be empty");
+  Tensor y({n, out_channels_, oh, ow});
+  for (int b = 0; b < n; ++b) {
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      const float bias = bias_.value[static_cast<std::size_t>(oc)];
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          float acc = bias;
+          for (int ic = 0; ic < in_channels_; ++ic) {
+            for (int ky = 0; ky < kernel_; ++ky) {
+              const int iy = oy + ky - padding_;
+              if (iy < 0 || iy >= h) continue;
+              for (int kx = 0; kx < kernel_; ++kx) {
+                const int ix = ox + kx - padding_;
+                if (ix < 0 || ix >= w) continue;
+                acc += x.at({b, ic, iy, ix}) *
+                       weight_.value.at({oc, ic, ky, kx});
+              }
+            }
+          }
+          y.at({b, oc, oy, ox}) = acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_y) {
+  ZEIOT_CHECK_MSG(!cached_x_.empty(), "backward before forward");
+  const Tensor& x = cached_x_;
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int oh = grad_y.dim(2), ow = grad_y.dim(3);
+  Tensor grad_x = Tensor::zeros_like(x);
+  for (int b = 0; b < n; ++b) {
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          const float g = grad_y.at({b, oc, oy, ox});
+          if (g == 0.0f) continue;
+          bias_.grad[static_cast<std::size_t>(oc)] += g;
+          for (int ic = 0; ic < in_channels_; ++ic) {
+            for (int ky = 0; ky < kernel_; ++ky) {
+              const int iy = oy + ky - padding_;
+              if (iy < 0 || iy >= h) continue;
+              for (int kx = 0; kx < kernel_; ++kx) {
+                const int ix = ox + kx - padding_;
+                if (ix < 0 || ix >= w) continue;
+                weight_.grad.at({oc, ic, ky, kx}) += g * x.at({b, ic, iy, ix});
+                grad_x.at({b, ic, iy, ix}) +=
+                    g * weight_.value.at({oc, ic, ky, kx});
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_x;
+}
+
+// -------------------------------------------------------------- MaxPool2D --
+
+MaxPool2D::MaxPool2D(int k) : k_(k) {
+  ZEIOT_CHECK_MSG(k > 0, "pool size must be > 0");
+}
+
+std::vector<int> MaxPool2D::output_shape(const std::vector<int>& in) const {
+  ZEIOT_CHECK_MSG(in.size() == 3, "pool input shape must be (C,H,W)");
+  const int oh = in[1] / k_;
+  const int ow = in[2] / k_;
+  ZEIOT_CHECK_MSG(oh > 0 && ow > 0, "pool output would be empty");
+  return {in[0], oh, ow};
+}
+
+Tensor MaxPool2D::forward(const Tensor& x, bool /*train*/) {
+  check_nchw(x, "MaxPool2D");
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oh = h / k_, ow = w / k_;
+  ZEIOT_CHECK_MSG(oh > 0 && ow > 0, "MaxPool2D output would be empty");
+  in_shape_ = x.shape();
+  Tensor y({n, c, oh, ow});
+  argmax_.assign(y.size(), 0);
+  std::size_t out_i = 0;
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (int ky = 0; ky < k_; ++ky) {
+            for (int kx = 0; kx < k_; ++kx) {
+              const int iy = oy * k_ + ky;
+              const int ix = ox * k_ + kx;
+              const std::size_t idx = x.offset({b, ch, iy, ix});
+              if (x[idx] > best) {
+                best = x[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          y[out_i] = best;
+          argmax_[out_i] = best_idx;
+          ++out_i;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_y) {
+  ZEIOT_CHECK_MSG(!in_shape_.empty(), "backward before forward");
+  ZEIOT_CHECK_MSG(grad_y.size() == argmax_.size(), "pool backward size mismatch");
+  Tensor grad_x(in_shape_);
+  for (std::size_t i = 0; i < argmax_.size(); ++i) {
+    grad_x[argmax_[i]] += grad_y[i];
+  }
+  return grad_x;
+}
+
+// ------------------------------------------------------------------- ReLU --
+
+Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
+  Tensor y = x;
+  mask_.assign(x.size(), false);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] > 0.0f) {
+      mask_[i] = true;
+    } else {
+      y[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_y) {
+  ZEIOT_CHECK_MSG(grad_y.size() == mask_.size(), "relu backward size mismatch");
+  Tensor grad_x = grad_y;
+  for (std::size_t i = 0; i < grad_x.size(); ++i) {
+    if (!mask_[i]) grad_x[i] = 0.0f;
+  }
+  return grad_x;
+}
+
+// ---------------------------------------------------------------- Flatten --
+
+std::vector<int> Flatten::output_shape(const std::vector<int>& in) const {
+  int prod = 1;
+  for (int d : in) prod *= d;
+  return {prod};
+}
+
+Tensor Flatten::forward(const Tensor& x, bool /*train*/) {
+  in_shape_ = x.shape();
+  const int n = x.dim(0);
+  const int features = static_cast<int>(x.size()) / n;
+  return x.reshape({n, features});
+}
+
+Tensor Flatten::backward(const Tensor& grad_y) {
+  ZEIOT_CHECK_MSG(!in_shape_.empty(), "backward before forward");
+  return grad_y.reshape(in_shape_);
+}
+
+// ------------------------------------------------------------------ Dense --
+
+Dense::Dense(int in_features, int out_features, Rng& rng)
+    : in_features_(in_features), out_features_(out_features) {
+  ZEIOT_CHECK_MSG(in_features > 0 && out_features > 0, "features must be > 0");
+  weight_.value = Tensor({out_features, in_features});
+  weight_.value.he_init(rng, in_features);
+  weight_.grad = Tensor::zeros_like(weight_.value);
+  bias_.value = Tensor({out_features});
+  bias_.grad = Tensor::zeros_like(bias_.value);
+}
+
+std::vector<int> Dense::output_shape(const std::vector<int>& in) const {
+  ZEIOT_CHECK_MSG(in.size() == 1 && in[0] == in_features_,
+                  "dense input shape mismatch");
+  return {out_features_};
+}
+
+Tensor Dense::forward(const Tensor& x, bool /*train*/) {
+  ZEIOT_CHECK_MSG(x.ndim() == 2, "Dense expects (N, features)");
+  ZEIOT_CHECK_MSG(x.dim(1) == in_features_, "Dense feature mismatch: got "
+                                                << x.dim(1) << " expected "
+                                                << in_features_);
+  cached_x_ = x;
+  const int n = x.dim(0);
+  Tensor y({n, out_features_});
+  for (int b = 0; b < n; ++b) {
+    const float* xb = x.data() + static_cast<std::size_t>(b) * in_features_;
+    for (int o = 0; o < out_features_; ++o) {
+      const float* wrow =
+          weight_.value.data() + static_cast<std::size_t>(o) * in_features_;
+      float acc = bias_.value[static_cast<std::size_t>(o)];
+      for (int i = 0; i < in_features_; ++i) acc += wrow[i] * xb[i];
+      y.at({b, o}) = acc;
+    }
+  }
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_y) {
+  ZEIOT_CHECK_MSG(!cached_x_.empty(), "backward before forward");
+  const Tensor& x = cached_x_;
+  const int n = x.dim(0);
+  Tensor grad_x({n, in_features_});
+  for (int b = 0; b < n; ++b) {
+    const float* xb = x.data() + static_cast<std::size_t>(b) * in_features_;
+    float* gxb = grad_x.data() + static_cast<std::size_t>(b) * in_features_;
+    for (int o = 0; o < out_features_; ++o) {
+      const float g = grad_y.at({b, o});
+      if (g == 0.0f) continue;
+      bias_.grad[static_cast<std::size_t>(o)] += g;
+      float* gw =
+          weight_.grad.data() + static_cast<std::size_t>(o) * in_features_;
+      const float* wrow =
+          weight_.value.data() + static_cast<std::size_t>(o) * in_features_;
+      for (int i = 0; i < in_features_; ++i) {
+        gw[i] += g * xb[i];
+        gxb[i] += g * wrow[i];
+      }
+    }
+  }
+  return grad_x;
+}
+
+// ---------------------------------------------------------------- Dropout --
+
+Dropout::Dropout(double p, Rng& rng) : p_(p), rng_(rng) {
+  ZEIOT_CHECK_MSG(p >= 0.0 && p < 1.0, "dropout p must be in [0,1)");
+}
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  Tensor y = x;
+  scale_.assign(x.size(), 1.0f);
+  if (train && p_ > 0.0) {
+    const auto keep = static_cast<float>(1.0 / (1.0 - p_));
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      if (rng_.bernoulli(p_)) {
+        scale_[i] = 0.0f;
+        y[i] = 0.0f;
+      } else {
+        scale_[i] = keep;
+        y[i] *= keep;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_y) {
+  ZEIOT_CHECK_MSG(grad_y.size() == scale_.size(), "dropout size mismatch");
+  Tensor grad_x = grad_y;
+  for (std::size_t i = 0; i < grad_x.size(); ++i) grad_x[i] *= scale_[i];
+  return grad_x;
+}
+
+}  // namespace zeiot::ml

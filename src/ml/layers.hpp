@@ -1,0 +1,152 @@
+// Neural-network layers for the from-scratch CNN substrate.
+//
+// Data layout is NCHW (batch, channels, height, width) for spatial layers
+// and (batch, features) for dense layers.  Implementations are straight
+// loops: the sensing workloads in this library use grids of a few hundred
+// cells, where naive convolution is more than fast enough and keeps the
+// exact arithmetic easy to audit against the distributed (per-unit) version
+// in src/microdeep.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/tensor.hpp"
+
+namespace zeiot::ml {
+
+/// A trainable parameter tensor paired with its gradient accumulator.
+struct Param {
+  Tensor value;
+  Tensor grad;
+};
+
+/// Base layer: forward caches whatever backward needs.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  /// Forward pass; `train` enables behaviours like dropout.
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+  /// Backward pass: receives dL/dy, accumulates parameter gradients,
+  /// returns dL/dx.  Must be called after forward on the same input.
+  virtual Tensor backward(const Tensor& grad_y) = 0;
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+  virtual std::string name() const = 0;
+  /// Output shape (excluding batch) for an input shape (excluding batch).
+  virtual std::vector<int> output_shape(const std::vector<int>& in) const = 0;
+};
+
+/// 2-D convolution, stride 1, symmetric zero padding.
+class Conv2D final : public Layer {
+ public:
+  /// Kernels are `out_channels` x `in_channels` x `k` x `k`.
+  Conv2D(int in_channels, int out_channels, int kernel, int padding, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_y) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "conv2d"; }
+  std::vector<int> output_shape(const std::vector<int>& in) const override;
+
+  int in_channels() const { return in_channels_; }
+  int out_channels() const { return out_channels_; }
+  int kernel() const { return kernel_; }
+  int padding() const { return padding_; }
+
+ private:
+  int in_channels_;
+  int out_channels_;
+  int kernel_;
+  int padding_;
+  Param weight_;
+  Param bias_;
+  Tensor cached_x_;
+};
+
+/// Max pooling with square window `k`, stride `k` (floor division of dims).
+class MaxPool2D final : public Layer {
+ public:
+  explicit MaxPool2D(int k);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_y) override;
+  std::string name() const override { return "maxpool2d"; }
+  std::vector<int> output_shape(const std::vector<int>& in) const override;
+
+  int k() const { return k_; }
+
+ private:
+  int k_;
+  std::vector<int> in_shape_;
+  std::vector<std::size_t> argmax_;  // flat input index per output element
+};
+
+/// Elementwise rectified linear unit.
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_y) override;
+  std::string name() const override { return "relu"; }
+  std::vector<int> output_shape(const std::vector<int>& in) const override {
+    return in;
+  }
+
+ private:
+  std::vector<bool> mask_;
+};
+
+/// Collapses (N,C,H,W) (or any rank) to (N, features).
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_y) override;
+  std::string name() const override { return "flatten"; }
+  std::vector<int> output_shape(const std::vector<int>& in) const override;
+
+ private:
+  std::vector<int> in_shape_;
+};
+
+/// Fully connected layer: (N, in) -> (N, out).
+class Dense final : public Layer {
+ public:
+  Dense(int in_features, int out_features, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_y) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "dense"; }
+  std::vector<int> output_shape(const std::vector<int>& in) const override;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  Param weight_;  // (out, in)
+  Param bias_;    // (out)
+  Tensor cached_x_;
+};
+
+/// Inverted dropout with keep probability 1-p.
+class Dropout final : public Layer {
+ public:
+  Dropout(double p, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_y) override;
+  std::string name() const override { return "dropout"; }
+  std::vector<int> output_shape(const std::vector<int>& in) const override {
+    return in;
+  }
+
+ private:
+  double p_;
+  Rng& rng_;
+  std::vector<float> scale_;  // 0 or 1/(1-p) per element of the last forward
+};
+
+}  // namespace zeiot::ml

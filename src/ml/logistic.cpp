@@ -1,0 +1,101 @@
+#include "ml/logistic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace zeiot::ml {
+
+LogisticRegression::LogisticRegression(LogisticConfig cfg) : cfg_(cfg) {
+  ZEIOT_CHECK_MSG(cfg.epochs > 0 && cfg.batch_size > 0, "epochs/batch > 0");
+  ZEIOT_CHECK_MSG(cfg.lr > 0.0, "lr > 0");
+  ZEIOT_CHECK_MSG(cfg.l2 >= 0.0, "l2 >= 0");
+}
+
+void LogisticRegression::fit(const FeatureMatrix& x, const LabelVector& y,
+                             Rng& rng) {
+  ZEIOT_CHECK_MSG(!x.empty() && x.size() == y.size(), "aligned non-empty x/y");
+  dim_ = x.front().size();
+  int mx = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ZEIOT_CHECK_MSG(x[i].size() == dim_, "ragged feature matrix");
+    ZEIOT_CHECK_MSG(y[i] >= 0, "labels must be >= 0");
+    mx = std::max(mx, y[i]);
+  }
+  num_classes_ = mx + 1;
+  const auto k = static_cast<std::size_t>(num_classes_);
+  w_.assign(k * dim_, 0.0);
+  b_.assign(k, 0.0);
+
+  std::vector<double> probs(k);
+  std::vector<double> gw(k * dim_);
+  std::vector<double> gb(k);
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    auto order = rng.permutation(x.size());
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(cfg_.batch_size)) {
+      const std::size_t end = std::min(
+          order.size(), start + static_cast<std::size_t>(cfg_.batch_size));
+      std::fill(gw.begin(), gw.end(), 0.0);
+      std::fill(gb.begin(), gb.end(), 0.0);
+      for (std::size_t oi = start; oi < end; ++oi) {
+        const std::size_t i = order[oi];
+        probs = predict_proba(x[i]);
+        for (std::size_t c = 0; c < k; ++c) {
+          const double err =
+              probs[c] - (static_cast<int>(c) == y[i] ? 1.0 : 0.0);
+          gb[c] += err;
+          for (std::size_t j = 0; j < dim_; ++j)
+            gw[c * dim_ + j] += err * x[i][j];
+        }
+      }
+      const double scale = cfg_.lr / static_cast<double>(end - start);
+      for (std::size_t c = 0; c < k; ++c) {
+        b_[c] -= scale * gb[c];
+        for (std::size_t j = 0; j < dim_; ++j) {
+          w_[c * dim_ + j] -=
+              scale * (gw[c * dim_ + j] + cfg_.l2 * w_[c * dim_ + j]);
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> LogisticRegression::predict_proba(
+    const std::vector<double>& row) const {
+  ZEIOT_CHECK_MSG(num_classes_ > 0, "predict before fit");
+  ZEIOT_CHECK_MSG(row.size() == dim_, "feature count mismatch");
+  const auto k = static_cast<std::size_t>(num_classes_);
+  std::vector<double> z(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    double acc = b_[c];
+    for (std::size_t j = 0; j < dim_; ++j) acc += w_[c * dim_ + j] * row[j];
+    z[c] = acc;
+  }
+  const double mx = *std::max_element(z.begin(), z.end());
+  double denom = 0.0;
+  for (auto& v : z) {
+    v = std::exp(v - mx);
+    denom += v;
+  }
+  for (auto& v : z) v /= denom;
+  return z;
+}
+
+int LogisticRegression::predict(const std::vector<double>& row) const {
+  const auto p = predict_proba(row);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+double LogisticRegression::score(const FeatureMatrix& x,
+                                 const LabelVector& y) const {
+  ZEIOT_CHECK_MSG(x.size() == y.size() && !x.empty(), "aligned non-empty x/y");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (predict(x[i]) == y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(x.size());
+}
+
+}  // namespace zeiot::ml

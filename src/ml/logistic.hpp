@@ -1,0 +1,41 @@
+// Multinomial logistic regression trained by mini-batch SGD — the light
+// estimation model used where the paper's systems feed handcrafted features
+// into a shallow learner.
+#pragma once
+
+#include "common/rng.hpp"
+#include "ml/features.hpp"
+
+namespace zeiot::ml {
+
+struct LogisticConfig {
+  int epochs = 100;
+  int batch_size = 32;
+  double lr = 0.1;
+  double l2 = 1e-4;
+};
+
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(LogisticConfig cfg = {});
+
+  /// Trains from scratch on x/y.  Labels must be 0..K-1 with every class
+  /// present at least once.
+  void fit(const FeatureMatrix& x, const LabelVector& y, Rng& rng);
+
+  /// Class probabilities for one row.
+  std::vector<double> predict_proba(const std::vector<double>& row) const;
+  int predict(const std::vector<double>& row) const;
+  double score(const FeatureMatrix& x, const LabelVector& y) const;
+
+  int num_classes() const { return num_classes_; }
+
+ private:
+  LogisticConfig cfg_;
+  int num_classes_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<double> w_;  // (K, D) row-major
+  std::vector<double> b_;  // (K)
+};
+
+}  // namespace zeiot::ml

@@ -1,0 +1,50 @@
+#include "ml/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zeiot::ml {
+
+Tensor softmax(const Tensor& logits) {
+  ZEIOT_CHECK_MSG(logits.ndim() == 2, "softmax expects (N, K)");
+  const int n = logits.dim(0), k = logits.dim(1);
+  Tensor out({n, k});
+  for (int b = 0; b < n; ++b) {
+    const float* row = logits.data() + static_cast<std::size_t>(b) * k;
+    float* orow = out.data() + static_cast<std::size_t>(b) * k;
+    const float mx = *std::max_element(row, row + k);
+    double denom = 0.0;
+    for (int j = 0; j < k; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      denom += orow[j];
+    }
+    for (int j = 0; j < k; ++j)
+      orow[j] = static_cast<float>(orow[j] / denom);
+  }
+  return out;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels) {
+  ZEIOT_CHECK_MSG(logits.ndim() == 2, "loss expects (N, K) logits");
+  const int n = logits.dim(0), k = logits.dim(1);
+  ZEIOT_CHECK_MSG(static_cast<int>(labels.size()) == n,
+                  "labels size " << labels.size() << " != batch " << n);
+  LossResult r;
+  r.grad = softmax(logits);
+  double total = 0.0;
+  for (int b = 0; b < n; ++b) {
+    const int y = labels[static_cast<std::size_t>(b)];
+    ZEIOT_CHECK_MSG(y >= 0 && y < k, "label " << y << " out of range 0.." << k - 1);
+    float* grow = r.grad.data() + static_cast<std::size_t>(b) * k;
+    const double p = std::max(1e-12, static_cast<double>(grow[y]));
+    total -= std::log(p);
+    grow[y] -= 1.0f;
+    // Mean over batch.
+    for (int j = 0; j < k; ++j) grow[j] /= static_cast<float>(n);
+  }
+  r.loss = total / static_cast<double>(n);
+  return r;
+}
+
+}  // namespace zeiot::ml

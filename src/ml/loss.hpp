@@ -1,0 +1,23 @@
+// Softmax cross-entropy loss (combined, for numerical stability).
+#pragma once
+
+#include <vector>
+
+#include "ml/tensor.hpp"
+
+namespace zeiot::ml {
+
+struct LossResult {
+  double loss = 0.0;   // mean over the batch
+  Tensor grad;         // dL/dlogits, shape (N, K)
+};
+
+/// Row-wise softmax of logits (N, K).
+Tensor softmax(const Tensor& logits);
+
+/// Mean cross-entropy of `logits` (N, K) against integer `labels` (size N),
+/// plus the gradient w.r.t. the logits.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels);
+
+}  // namespace zeiot::ml

@@ -1,0 +1,69 @@
+#include "ml/network.hpp"
+
+namespace zeiot::ml {
+
+Layer& Network::add(std::unique_ptr<Layer> layer) {
+  ZEIOT_CHECK_MSG(layer != nullptr, "cannot add null layer");
+  layers_.push_back(std::move(layer));
+  return *layers_.back();
+}
+
+Layer& Network::layer(std::size_t i) {
+  ZEIOT_CHECK_MSG(i < layers_.size(), "layer index out of range");
+  return *layers_[i];
+}
+
+const Layer& Network::layer(std::size_t i) const {
+  ZEIOT_CHECK_MSG(i < layers_.size(), "layer index out of range");
+  return *layers_[i];
+}
+
+Tensor Network::forward(const Tensor& x, bool train) {
+  ZEIOT_CHECK_MSG(!layers_.empty(), "empty network");
+  Tensor h = x;
+  for (auto& l : layers_) h = l->forward(h, train);
+  return h;
+}
+
+Tensor Network::backward(const Tensor& grad_out) {
+  ZEIOT_CHECK_MSG(!layers_.empty(), "empty network");
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Param*> Network::params() {
+  std::vector<Param*> all;
+  for (auto& l : layers_) {
+    for (Param* p : l->params()) all.push_back(p);
+  }
+  return all;
+}
+
+void Network::zero_grads() {
+  for (Param* p : params()) p->grad.fill(0.0f);
+}
+
+std::size_t Network::num_parameters() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) {
+    for (Param* p : const_cast<Layer&>(*l).params()) n += p->value.size();
+  }
+  return n;
+}
+
+std::vector<std::vector<int>> Network::shape_trace(
+    const std::vector<int>& input) const {
+  std::vector<std::vector<int>> trace;
+  trace.push_back(input);
+  std::vector<int> cur = input;
+  for (const auto& l : layers_) {
+    cur = l->output_shape(cur);
+    trace.push_back(cur);
+  }
+  return trace;
+}
+
+}  // namespace zeiot::ml

@@ -1,0 +1,55 @@
+// Sequential network container: composes layers, exposes the parameter list
+// for optimizers, and reports per-layer shapes for the MicroDeep
+// unit-assignment machinery (which needs to know the geometry of every
+// layer to map units onto sensor nodes).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/layers.hpp"
+
+namespace zeiot::ml {
+
+class Network {
+ public:
+  Network() = default;
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  /// Appends a layer; returns a reference for further configuration.
+  Layer& add(std::unique_ptr<Layer> layer);
+
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    add(std::move(layer));
+    return ref;
+  }
+
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i);
+  const Layer& layer(std::size_t i) const;
+
+  /// Forward pass through all layers.
+  Tensor forward(const Tensor& x, bool train);
+  /// Backward pass; call with dL/d(output of last layer).
+  Tensor backward(const Tensor& grad_out);
+
+  /// All trainable parameters in layer order.
+  std::vector<Param*> params();
+  /// Zeroes every parameter gradient.
+  void zero_grads();
+  /// Total number of trainable scalars.
+  std::size_t num_parameters() const;
+
+  /// Shapes (excluding batch) flowing through the network for a given input
+  /// shape — index 0 is the input itself, index i+1 the output of layer i.
+  std::vector<std::vector<int>> shape_trace(const std::vector<int>& input) const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace zeiot::ml

@@ -1,0 +1,50 @@
+#include "ml/standardize.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace zeiot::ml {
+
+void Standardizer::fit(const FeatureMatrix& x) {
+  ZEIOT_CHECK_MSG(!x.empty(), "Standardizer::fit on empty matrix");
+  const std::size_t d = x.front().size();
+  ZEIOT_CHECK_MSG(d > 0, "Standardizer::fit on zero-width matrix");
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 1.0);
+  for (const auto& row : x) {
+    ZEIOT_CHECK_MSG(row.size() == d, "ragged feature matrix");
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  }
+  for (auto& m : mean_) m /= static_cast<double>(x.size());
+  std::vector<double> var(d, 0.0);
+  for (const auto& row : x) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double dv = row[j] - mean_[j];
+      var[j] += dv * dv;
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    const double sd = std::sqrt(var[j] / static_cast<double>(x.size()));
+    inv_std_[j] = sd > 1e-12 ? 1.0 / sd : 1.0;
+  }
+}
+
+std::vector<double> Standardizer::transform(
+    const std::vector<double>& row) const {
+  ZEIOT_CHECK_MSG(fitted(), "Standardizer not fitted");
+  ZEIOT_CHECK_MSG(row.size() == mean_.size(), "feature count mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j)
+    out[j] = (row[j] - mean_[j]) * inv_std_[j];
+  return out;
+}
+
+FeatureMatrix Standardizer::transform(const FeatureMatrix& x) const {
+  FeatureMatrix out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(transform(row));
+  return out;
+}
+
+}  // namespace zeiot::ml

@@ -1,0 +1,97 @@
+#include "ml/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace zeiot::ml {
+
+Tensor::Tensor(std::vector<int> shape, float fill) : shape_(std::move(shape)) {
+  ZEIOT_CHECK_MSG(!shape_.empty() && shape_.size() <= 4,
+                  "tensor rank must be 1..4");
+  std::size_t n = 1;
+  for (int d : shape_) {
+    ZEIOT_CHECK_MSG(d > 0, "tensor dims must be positive");
+    n *= static_cast<std::size_t>(d);
+  }
+  data_.assign(n, fill);
+}
+
+int Tensor::dim(int i) const {
+  ZEIOT_CHECK_MSG(i >= 0 && i < ndim(), "dim index out of range");
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+std::size_t Tensor::offset(std::initializer_list<int> idx) const {
+  ZEIOT_CHECK_MSG(static_cast<int>(idx.size()) == ndim(),
+                  "index arity " << idx.size() << " != rank " << ndim());
+  std::size_t off = 0;
+  int d = 0;
+  for (int i : idx) {
+    ZEIOT_CHECK_MSG(i >= 0 && i < shape_[static_cast<std::size_t>(d)],
+                    "index " << i << " out of bounds for dim " << d << " (size "
+                             << shape_[static_cast<std::size_t>(d)] << ")");
+    off = off * static_cast<std::size_t>(shape_[static_cast<std::size_t>(d)]) +
+          static_cast<std::size_t>(i);
+    ++d;
+  }
+  return off;
+}
+
+float& Tensor::at(std::initializer_list<int> idx) { return data_[offset(idx)]; }
+float Tensor::at(std::initializer_list<int> idx) const {
+  return data_[offset(idx)];
+}
+
+Tensor Tensor::reshape(std::vector<int> new_shape) const {
+  Tensor out(std::move(new_shape));
+  ZEIOT_CHECK_MSG(out.size() == size(), "reshape must preserve element count: "
+                                            << size() << " -> " << out.size());
+  std::copy(data_.begin(), data_.end(), out.data_.begin());
+  return out;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::add_(const Tensor& other) {
+  ZEIOT_CHECK_MSG(shape_ == other.shape_, "add_ shape mismatch: " << shape_str()
+                                              << " vs " << other.shape_str());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::scale_(float s) {
+  for (auto& v : data_) v *= s;
+}
+
+double Tensor::sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+std::size_t Tensor::argmax() const {
+  ZEIOT_CHECK_MSG(!data_.empty(), "argmax of empty tensor");
+  return static_cast<std::size_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+void Tensor::randomize_normal(Rng& rng, double sigma) {
+  for (auto& v : data_) v = static_cast<float>(rng.normal(0.0, sigma));
+}
+
+void Tensor::he_init(Rng& rng, int fan_in) {
+  ZEIOT_CHECK_MSG(fan_in > 0, "he_init requires fan_in > 0");
+  randomize_normal(rng, std::sqrt(2.0 / static_cast<double>(fan_in)));
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ',';
+    os << shape_[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace zeiot::ml

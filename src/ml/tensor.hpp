@@ -1,0 +1,68 @@
+// Minimal dense float tensor (row-major, up to 4 dimensions) backing the
+// from-scratch CNN used by MicroDeep.  Sized for sensing workloads (tens of
+// channels, grids of a few hundred cells), not for GPU-scale training.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace zeiot::ml {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Allocates a tensor of the given shape filled with `fill`.
+  explicit Tensor(std::vector<int> shape, float fill = 0.0f);
+
+  static Tensor zeros_like(const Tensor& t) { return Tensor(t.shape_); }
+
+  const std::vector<int>& shape() const { return shape_; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int dim(int i) const;
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::size_t flat) { return data_[flat]; }
+  float operator[](std::size_t flat) const { return data_[flat]; }
+
+  /// Bounds-checked multi-index access (arity must match ndim).
+  float& at(std::initializer_list<int> idx);
+  float at(std::initializer_list<int> idx) const;
+
+  /// Flat offset of a multi-index (bounds-checked).
+  std::size_t offset(std::initializer_list<int> idx) const;
+
+  /// Returns a copy with a new shape of identical element count.
+  Tensor reshape(std::vector<int> new_shape) const;
+
+  void fill(float v);
+  /// In-place elementwise add; shapes must match exactly.
+  void add_(const Tensor& other);
+  /// In-place scalar multiply.
+  void scale_(float s);
+  /// Sum of all elements.
+  double sum() const;
+  /// Index of the maximum element (first on ties).
+  std::size_t argmax() const;
+
+  /// Fills with N(0, sigma) values.
+  void randomize_normal(Rng& rng, double sigma);
+  /// He initialisation for a layer with `fan_in` inputs.
+  void he_init(Rng& rng, int fan_in);
+
+  std::string shape_str() const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace zeiot::ml

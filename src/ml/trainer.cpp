@@ -1,0 +1,112 @@
+#include "ml/trainer.hpp"
+
+#include <algorithm>
+#include <iostream>
+
+namespace zeiot::ml {
+
+Trainer::Trainer(Network& net, Optimizer& opt, Rng rng)
+    : net_(net), opt_(opt), rng_(rng) {}
+
+TrainHistory Trainer::fit(const Dataset& train, const Dataset& val,
+                          const TrainConfig& cfg) {
+  ZEIOT_CHECK_MSG(!train.empty(), "cannot fit on an empty dataset");
+  ZEIOT_CHECK_MSG(cfg.epochs > 0 && cfg.batch_size > 0,
+                  "epochs and batch_size must be > 0");
+  TrainHistory hist;
+  int since_best = 0;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    auto order = rng_.permutation(train.size());
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(cfg.batch_size)) {
+      const std::size_t end = std::min(
+          order.size(), start + static_cast<std::size_t>(cfg.batch_size));
+      const std::vector<std::size_t> idx(order.begin() + static_cast<long>(start),
+                                         order.begin() + static_cast<long>(end));
+      auto [xb, yb] = train.batch(idx);
+      net_.zero_grads();
+      Tensor logits = net_.forward(xb, /*train=*/true);
+      const LossResult lr = softmax_cross_entropy(logits, yb);
+      loss_sum += lr.loss;
+      ++batches;
+      // Batch accuracy bookkeeping.
+      const int k = logits.dim(1);
+      for (int b = 0; b < logits.dim(0); ++b) {
+        const float* row = logits.data() + static_cast<std::size_t>(b) * k;
+        const int pred = static_cast<int>(
+            std::max_element(row, row + k) - row);
+        if (pred == yb[static_cast<std::size_t>(b)]) ++correct;
+      }
+      net_.backward(lr.grad);
+      if (grad_hook_) {
+        auto params = net_.params();
+        grad_hook_(params);
+      }
+      opt_.step(net_.params());
+    }
+    EpochStats es;
+    es.train_loss = batches ? loss_sum / static_cast<double>(batches) : 0.0;
+    es.train_accuracy =
+        static_cast<double>(correct) / static_cast<double>(train.size());
+    es.val_accuracy = val.empty() ? 0.0 : evaluate(val);
+    hist.epochs.push_back(es);
+    if (es.val_accuracy > hist.best_val_accuracy) {
+      hist.best_val_accuracy = es.val_accuracy;
+      since_best = 0;
+    } else {
+      ++since_best;
+    }
+    if (cfg.verbose) {
+      std::cerr << "epoch " << epoch + 1 << "/" << cfg.epochs << " loss="
+                << es.train_loss << " train_acc=" << es.train_accuracy
+                << " val_acc=" << es.val_accuracy << '\n';
+    }
+    if (cfg.patience > 0 && since_best >= cfg.patience) break;
+  }
+  return hist;
+}
+
+double Trainer::evaluate(const Dataset& data) {
+  if (data.empty()) return 0.0;
+  std::size_t correct = 0;
+  constexpr std::size_t kEvalBatch = 64;
+  std::vector<std::size_t> idx;
+  for (std::size_t start = 0; start < data.size(); start += kEvalBatch) {
+    const std::size_t end = std::min(data.size(), start + kEvalBatch);
+    idx.clear();
+    for (std::size_t i = start; i < end; ++i) idx.push_back(i);
+    auto [xb, yb] = data.batch(idx);
+    Tensor logits = net_.forward(xb, /*train=*/false);
+    const int k = logits.dim(1);
+    for (int b = 0; b < logits.dim(0); ++b) {
+      const float* row = logits.data() + static_cast<std::size_t>(b) * k;
+      const int pred =
+          static_cast<int>(std::max_element(row, row + k) - row);
+      if (pred == yb[static_cast<std::size_t>(b)]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+ConfusionMatrix Trainer::confusion(const Dataset& data, int num_classes) {
+  ZEIOT_CHECK_MSG(num_classes > 0, "num_classes must be > 0");
+  ConfusionMatrix cm(static_cast<std::size_t>(num_classes));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    cm.add(static_cast<std::size_t>(data.label(i)),
+           static_cast<std::size_t>(predict(data.x(i))));
+  }
+  return cm;
+}
+
+int Trainer::predict(const Tensor& x) {
+  std::vector<int> shape = x.shape();
+  shape.insert(shape.begin(), 1);
+  Tensor xb = x.reshape(shape);
+  Tensor logits = net_.forward(xb, /*train=*/false);
+  return static_cast<int>(logits.argmax());
+}
+
+}  // namespace zeiot::ml

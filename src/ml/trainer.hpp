@@ -1,0 +1,70 @@
+// Mini-batch training loop with per-epoch history and evaluation helpers.
+//
+// The trainer exposes a gradient-transform hook: MicroDeep uses it to model
+// the accuracy impact of node-local weight updates (cross-node gradient
+// terms arriving stale/partial) without duplicating the training loop.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/confusion.hpp"
+#include "ml/dataset.hpp"
+#include "ml/loss.hpp"
+#include "ml/network.hpp"
+#include "ml/optimizer.hpp"
+
+namespace zeiot::ml {
+
+struct TrainConfig {
+  int epochs = 10;
+  int batch_size = 16;
+  /// Stop early when validation accuracy has not improved for this many
+  /// epochs (0 disables early stopping).
+  int patience = 0;
+  /// Print per-epoch progress to stderr.
+  bool verbose = false;
+};
+
+struct EpochStats {
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double val_accuracy = 0.0;
+};
+
+struct TrainHistory {
+  std::vector<EpochStats> epochs;
+  double best_val_accuracy = 0.0;
+};
+
+class Trainer {
+ public:
+  /// Called after gradients are accumulated, before the optimizer step.
+  /// MicroDeep installs its distributed-update model here.
+  using GradHook = std::function<void(std::vector<Param*>&)>;
+
+  Trainer(Network& net, Optimizer& opt, Rng rng);
+
+  void set_grad_hook(GradHook hook) { grad_hook_ = std::move(hook); }
+
+  /// Trains on `train`, tracking accuracy on `val` each epoch.
+  TrainHistory fit(const Dataset& train, const Dataset& val,
+                   const TrainConfig& cfg);
+
+  /// Accuracy of the current network on `data`.
+  double evaluate(const Dataset& data);
+
+  /// Full confusion matrix on `data`.
+  ConfusionMatrix confusion(const Dataset& data, int num_classes);
+
+  /// Predicted label for one sample.
+  int predict(const Tensor& x);
+
+ private:
+  Network& net_;
+  Optimizer& opt_;
+  Rng rng_;
+  GradHook grad_hook_;
+};
+
+}  // namespace zeiot::ml

@@ -1,0 +1,30 @@
+#include "phy/airtime.hpp"
+
+#include "common/error.hpp"
+
+namespace zeiot::phy {
+
+namespace {
+double payload_time(std::size_t bytes, double rate_bps) {
+  ZEIOT_CHECK_MSG(rate_bps > 0.0, "data rate must be > 0");
+  return static_cast<double>(bytes) * 8.0 / rate_bps;
+}
+}  // namespace
+
+double Dot11Phy::frame_airtime_s(std::size_t payload_bytes) const {
+  return preamble_s + payload_time(payload_bytes, data_rate_bps);
+}
+
+double Dot11Phy::exchange_airtime_s(std::size_t payload_bytes) const {
+  return difs_s + frame_airtime_s(payload_bytes) + sifs_s + ack_s;
+}
+
+double Dot154Phy::frame_airtime_s(std::size_t payload_bytes) const {
+  return preamble_s + payload_time(payload_bytes, data_rate_bps);
+}
+
+double BackscatterPhy::frame_airtime_s(std::size_t payload_bytes) const {
+  return sync_s + payload_time(payload_bytes, data_rate_bps);
+}
+
+}  // namespace zeiot::phy

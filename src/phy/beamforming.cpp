@@ -1,0 +1,230 @@
+#include "phy/beamforming.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace zeiot::phy {
+
+namespace {
+
+/// A^H A for the rx-by-tx submatrix of subcarrier k (tx-by-tx Hermitian).
+CxMatrix gram_matrix(const CsiMatrix& h, int k) {
+  CxMatrix a(h.tx, h.tx);
+  for (int i = 0; i < h.tx; ++i) {
+    for (int j = 0; j < h.tx; ++j) {
+      Cx acc{0.0, 0.0};
+      for (int r = 0; r < h.rx; ++r) {
+        acc += std::conj(h.at(k, r, i)) * h.at(k, r, j);
+      }
+      a.at(i, j) = acc;
+    }
+  }
+  return a;
+}
+
+/// Dominant eigenvector of a Hermitian PSD matrix by power iteration.
+std::vector<Cx> power_iteration(const CxMatrix& a, int iters = 200) {
+  const int n = a.rows;
+  std::vector<Cx> v(static_cast<std::size_t>(n));
+  // Deterministic non-degenerate start.
+  for (int i = 0; i < n; ++i) {
+    v[static_cast<std::size_t>(i)] = Cx{1.0 + 0.1 * i, 0.05 * (i + 1)};
+  }
+  std::vector<Cx> w(static_cast<std::size_t>(n));
+  for (int it = 0; it < iters; ++it) {
+    for (int i = 0; i < n; ++i) {
+      Cx acc{0.0, 0.0};
+      for (int j = 0; j < n; ++j) acc += a.at(i, j) * v[static_cast<std::size_t>(j)];
+      w[static_cast<std::size_t>(i)] = acc;
+    }
+    double norm = 0.0;
+    for (const Cx& x : w) norm += std::norm(x);
+    norm = std::sqrt(norm);
+    if (norm < 1e-30) break;  // null matrix (fully deflated)
+    for (int i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] =
+        w[static_cast<std::size_t>(i)] / norm;
+  }
+  return v;
+}
+
+double eigenvalue_of(const CxMatrix& a, const std::vector<Cx>& v) {
+  const int n = a.rows;
+  Cx acc{0.0, 0.0};
+  for (int i = 0; i < n; ++i) {
+    Cx row{0.0, 0.0};
+    for (int j = 0; j < n; ++j) row += a.at(i, j) * v[static_cast<std::size_t>(j)];
+    acc += std::conj(v[static_cast<std::size_t>(i)]) * row;
+  }
+  return acc.real();
+}
+
+}  // namespace
+
+CxMatrix beamforming_v(const CsiMatrix& h, int k, int streams) {
+  ZEIOT_CHECK_MSG(k >= 0 && k < h.subcarriers, "subcarrier out of range");
+  ZEIOT_CHECK_MSG(streams >= 1 && streams <= h.tx && streams <= h.rx,
+                  "streams must be in [1, min(rx,tx)]");
+  CxMatrix a = gram_matrix(h, k);
+  CxMatrix v(h.tx, streams);
+  for (int s = 0; s < streams; ++s) {
+    const auto vec = power_iteration(a);
+    const double lambda = eigenvalue_of(a, vec);
+    for (int i = 0; i < h.tx; ++i) v.at(i, s) = vec[static_cast<std::size_t>(i)];
+    // Deflate: a -= lambda * vec vec^H.
+    for (int i = 0; i < h.tx; ++i) {
+      for (int j = 0; j < h.tx; ++j) {
+        a.at(i, j) -= lambda * vec[static_cast<std::size_t>(i)] *
+                      std::conj(vec[static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+  return v;
+}
+
+std::vector<double> givens_angles(const CxMatrix& v_in) {
+  const int nr = v_in.rows, nc = v_in.cols;
+  ZEIOT_CHECK_MSG(nr >= nc && nc >= 1, "V must be tall (Nr >= Nc >= 1)");
+  CxMatrix v = v_in;
+
+  // Step 0: make the last row real non-negative — V := V * Dtilde, a
+  // per-column phase the beamformer never needs.
+  for (int c = 0; c < nc; ++c) {
+    const double ph = std::arg(v.at(nr - 1, c));
+    const Cx rot{std::cos(-ph), std::sin(-ph)};
+    for (int r = 0; r < nr; ++r) v.at(r, c) *= rot;
+  }
+
+  std::vector<double> angles;
+  const int steps = std::min(nc, nr - 1);
+  for (int i = 0; i < steps; ++i) {
+    // Phi angles: remove phases of column i, rows i..nr-2 (last row is
+    // already real) by premultiplying D_i^H.
+    for (int l = i; l < nr - 1; ++l) {
+      double phi = std::arg(v.at(l, i));
+      if (phi < 0.0) phi += 2.0 * M_PI;
+      angles.push_back(phi);
+      const Cx rot{std::cos(-phi), std::sin(-phi)};
+      for (int c = i; c < nc; ++c) v.at(l, c) *= rot;
+    }
+    // Psi angles: Givens rotations zeroing column i below the diagonal.
+    for (int l = i + 1; l < nr; ++l) {
+      const double x = v.at(i, i).real();
+      const double y = v.at(l, i).real();
+      const double r = std::hypot(x, y);
+      double psi = r > 0.0 ? std::atan2(y, x) : 0.0;
+      if (psi < 0.0) psi = 0.0;  // numerical guard; entries are >= 0
+      angles.push_back(psi);
+      const double cs = std::cos(psi), sn = std::sin(psi);
+      // G(l,i)^T applied to rows i and l.
+      for (int c = i; c < nc; ++c) {
+        const Cx vi = v.at(i, c);
+        const Cx vl = v.at(l, c);
+        v.at(i, c) = cs * vi + sn * vl;
+        v.at(l, c) = -sn * vi + cs * vl;
+      }
+    }
+  }
+  return angles;
+}
+
+CxMatrix reconstruct_v(const std::vector<double>& angles, int nr, int nc) {
+  ZEIOT_CHECK_MSG(nr >= nc && nc >= 1, "V must be tall (Nr >= Nc >= 1)");
+  // Expected angle count.
+  std::size_t expected = 0;
+  const int steps = std::min(nc, nr - 1);
+  for (int i = 0; i < steps; ++i)
+    expected += 2 * static_cast<std::size_t>(nr - 1 - i);
+  ZEIOT_CHECK_MSG(angles.size() == expected,
+                  "angle count " << angles.size() << " != expected " << expected);
+
+  // V = prod_i [ D_i * prod_l G(l,i)^T ]^H applied to I_{nr x nc}; build by
+  // applying the inverse operations in reverse order to the identity.
+  CxMatrix v(nr, nc);
+  for (int c = 0; c < nc; ++c) v.at(c, c) = Cx{1.0, 0.0};
+
+  // Collect the operations in forward order first.
+  struct Op {
+    bool is_phi;
+    int l;
+    int i;
+    double angle;
+  };
+  std::vector<Op> ops;
+  std::size_t idx = 0;
+  for (int i = 0; i < steps; ++i) {
+    for (int l = i; l < nr - 1; ++l) ops.push_back({true, l, i, angles[idx++]});
+    for (int l = i + 1; l < nr; ++l) ops.push_back({false, l, i, angles[idx++]});
+  }
+  // Inverse application in reverse order.
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    if (it->is_phi) {
+      const Cx rot{std::cos(it->angle), std::sin(it->angle)};
+      for (int c = 0; c < nc; ++c) v.at(it->l, c) *= rot;
+    } else {
+      const double cs = std::cos(it->angle), sn = std::sin(it->angle);
+      for (int c = 0; c < nc; ++c) {
+        const Cx vi = v.at(it->i, c);
+        const Cx vl = v.at(it->l, c);
+        v.at(it->i, c) = cs * vi - sn * vl;
+        v.at(it->l, c) = sn * vi + cs * vl;
+      }
+    }
+  }
+  return v;
+}
+
+double quantize_phi(double phi, int bits_phi) {
+  ZEIOT_CHECK_MSG(bits_phi >= 1 && bits_phi <= 16, "bits_phi in [1,16]");
+  // Codebook centres: phi_k = k*pi/2^{b-1} + pi/2^b, k = 0..2^b - 1.
+  const double step = M_PI / std::pow(2.0, bits_phi - 1);
+  const double offset = M_PI / std::pow(2.0, bits_phi);
+  double p = std::fmod(phi, 2.0 * M_PI);
+  if (p < 0.0) p += 2.0 * M_PI;
+  double k = std::round((p - offset) / step);
+  const double levels = std::pow(2.0, bits_phi);
+  if (k < 0.0) k = 0.0;
+  if (k > levels - 1.0) k = levels - 1.0;
+  return k * step + offset;
+}
+
+double quantize_psi(double psi, int bits_psi) {
+  ZEIOT_CHECK_MSG(bits_psi >= 1 && bits_psi <= 16, "bits_psi in [1,16]");
+  // Codebook centres: psi_k = k*pi/2^{b+1} + pi/2^{b+2}, k = 0..2^b - 1.
+  const double step = M_PI / std::pow(2.0, bits_psi + 1);
+  const double offset = M_PI / std::pow(2.0, bits_psi + 2);
+  double p = psi;
+  if (p < 0.0) p = 0.0;
+  if (p > M_PI / 2.0) p = M_PI / 2.0;
+  double k = std::round((p - offset) / step);
+  const double levels = std::pow(2.0, bits_psi);
+  if (k < 0.0) k = 0.0;
+  if (k > levels - 1.0) k = levels - 1.0;
+  return k * step + offset;
+}
+
+std::vector<double> compressed_feedback_features(const CsiMatrix& h,
+                                                 const FeedbackConfig& cfg) {
+  std::vector<double> features;
+  const int steps = std::min(cfg.streams, h.tx - 1);
+  std::size_t per_sc = 0;
+  for (int i = 0; i < steps; ++i)
+    per_sc += 2 * static_cast<std::size_t>(h.tx - 1 - i);
+  features.reserve(per_sc * static_cast<std::size_t>(h.subcarriers));
+  for (int k = 0; k < h.subcarriers; ++k) {
+    const CxMatrix v = beamforming_v(h, k, cfg.streams);
+    const auto angles = givens_angles(v);
+    // Angle order per column i: first (h.tx-1-i) phis, then as many psis.
+    std::size_t idx = 0;
+    for (int i = 0; i < steps; ++i) {
+      const int nphi = h.tx - 1 - i;
+      for (int a = 0; a < nphi; ++a)
+        features.push_back(quantize_phi(angles[idx++], cfg.bits_phi));
+      for (int a = 0; a < nphi; ++a)
+        features.push_back(quantize_psi(angles[idx++], cfg.bits_psi));
+    }
+  }
+  return features;
+}
+
+}  // namespace zeiot::phy

@@ -1,0 +1,62 @@
+// IEEE 802.11ac compressed beamforming feedback (explicit CSI feedback).
+//
+// A beamformee feeds back the right-singular matrix V of each subcarrier's
+// channel, compressed as Givens-rotation angles (phi in [0, 2pi), psi in
+// [0, pi/2]) and quantised per the standard's codebook.  The CSI learning
+// system of the paper (ref [8]) extracts its 624 features from exactly
+// these angles: 12 angles per subcarrier group x 52 groups for a 4x3 V.
+#pragma once
+
+#include <vector>
+
+#include "phy/csi_channel.hpp"
+
+namespace zeiot::phy {
+
+/// Dense complex matrix, row-major, sized rows x cols.
+struct CxMatrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<Cx> data;
+
+  CxMatrix() = default;
+  CxMatrix(int r, int c) : rows(r), cols(c), data(static_cast<std::size_t>(r) * c) {}
+  Cx& at(int r, int c) { return data[static_cast<std::size_t>(r) * cols + c]; }
+  Cx at(int r, int c) const { return data[static_cast<std::size_t>(r) * cols + c]; }
+};
+
+/// Top-`streams` right singular vectors of the rx-by-tx channel `h` at
+/// subcarrier `k`: the tx-by-streams steering matrix V (via power iteration
+/// with deflation on H^H H).
+CxMatrix beamforming_v(const CsiMatrix& h, int k, int streams);
+
+/// Givens-angle decomposition of V (Nr x Nc, Nr >= Nc).  Returns the
+/// standard's angle sequence: for each column i, first the phi angles
+/// (rows i..Nr-2), then the psi angles (rows i+1..Nr-1).
+/// Size = sum_{i=0}^{min(Nc,Nr-1)-1} 2*(Nr-1-i).
+std::vector<double> givens_angles(const CxMatrix& v);
+
+/// Reconstructs V from angles (inverse of givens_angles, up to the
+/// per-column phase that compression legitimately discards).
+CxMatrix reconstruct_v(const std::vector<double>& angles, int nr, int nc);
+
+/// Codebook quantisation of the standard: phi with `bits_phi` bits over
+/// [0, 2pi), psi with `bits_psi` bits over [0, pi/2].  Returns the
+/// *reconstructed* (dequantised) angle.
+double quantize_phi(double phi, int bits_phi);
+double quantize_psi(double psi, int bits_psi);
+
+struct FeedbackConfig {
+  int streams = 3;
+  int bits_phi = 9;  // SU-MIMO codebook (psi, phi) = (7, 9)
+  int bits_psi = 7;
+};
+
+/// Full feedback pipeline for one CSI snapshot: per-subcarrier V ->
+/// Givens angles -> quantisation -> concatenated feature vector.
+/// For a 4-antenna AP, 3 streams and 52 subcarriers this yields the
+/// 624-dimensional feature vector of the paper's CSI learning system.
+std::vector<double> compressed_feedback_features(const CsiMatrix& h,
+                                                 const FeedbackConfig& cfg = {});
+
+}  // namespace zeiot::phy

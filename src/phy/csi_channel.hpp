@@ -1,0 +1,63 @@
+// Multipath MIMO-OFDM channel model producing per-subcarrier channel
+// matrices — the synthetic stand-in for capturing real 802.11ac CSI
+// feedback frames (paper Sec. IV.B, ref [8]).
+//
+// The environment is a rectangular room: rays are the line-of-sight path,
+// first-order wall reflections (image method), and a scatterer for the
+// human body whose position is the quantity the localization pipeline
+// estimates.  Each ray contributes amplitude * exp(-j 2 pi f tau) per
+// subcarrier and per antenna pair, so moving the body shifts both the
+// amplitude and the phase structure of H — exactly the signal the
+// compressed-beamforming angles encode.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+
+namespace zeiot::phy {
+
+using Cx = std::complex<double>;
+
+/// Channel matrices for all subcarriers: h[k] is rx_antennas x tx_antennas
+/// (row-major).
+struct CsiMatrix {
+  int subcarriers = 0;
+  int rx = 0;
+  int tx = 0;
+  std::vector<Cx> data;  // [k][r][t]
+
+  Cx& at(int k, int r, int t);
+  Cx at(int k, int r, int t) const;
+};
+
+struct CsiEnvironment {
+  Rect room{0.0, 0.0, 8.0, 6.0};
+  Point2D ap{0.5, 3.0};
+  Point2D client{7.5, 3.0};
+  /// Antenna element spacing (metres) for the AP and client linear arrays.
+  double antenna_spacing_m = 0.06;
+  int ap_antennas = 4;      // Nr of the fed-back V
+  int client_antennas = 3;  // Nc (spatial streams)
+  double carrier_hz = 5.21e9;   // 802.11ac channel 42
+  double subcarrier_spacing_hz = 312.5e3;
+  int subcarriers = 52;     // data subcarriers of a 20 MHz VHT symbol
+  /// Reflection loss at walls (amplitude factor).
+  double wall_reflection = 0.35;
+  /// Scattering strength of a human body (amplitude factor at 1 m).
+  double body_reflection = 0.5;
+  /// Extra attenuation (amplitude) when the body blocks the LoS corridor.
+  double body_blockage = 0.55;
+  /// Measurement noise added to each H entry (std dev, relative).
+  double noise_sigma = 0.02;
+};
+
+/// Generates one CSI snapshot.  `body` is the person's position;
+/// `body_jitter_m` models posture/micro-movement (e.g. a walking person has
+/// larger jitter, which the paper found *helps* classification).
+CsiMatrix generate_csi(const CsiEnvironment& env, Point2D body,
+                       double body_jitter_m, Rng& rng);
+
+}  // namespace zeiot::phy

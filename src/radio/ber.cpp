@@ -1,0 +1,50 @@
+#include "radio/ber.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace zeiot::radio {
+
+double q_function(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+double ber_bpsk(double ebn0) {
+  ZEIOT_CHECK_MSG(ebn0 >= 0.0, "Eb/N0 must be >= 0");
+  return q_function(std::sqrt(2.0 * ebn0));
+}
+
+double ber_noncoherent_ook(double snr) {
+  ZEIOT_CHECK_MSG(snr >= 0.0, "SNR must be >= 0");
+  return 0.5 * std::exp(-snr / 2.0);
+}
+
+double ber_802154(double sinr) {
+  ZEIOT_CHECK_MSG(sinr >= 0.0, "SINR must be >= 0");
+  // IEEE 802.15.4-2006 Annex E: BER for the 2.4 GHz PHY as a function of
+  // SINR, derived from 16-ary orthogonal signalling over 32 chips.
+  // BER = (8/15) * (1/16) * sum_{k=2}^{16} (-1)^k C(16,k) exp(20*SINR*(1/k - 1))
+  double sum = 0.0;
+  double binom = 16.0;  // C(16,1); updated multiplicatively
+  for (int k = 2; k <= 16; ++k) {
+    binom = binom * static_cast<double>(16 - k + 1) / static_cast<double>(k);
+    const double sign = (k % 2 == 0) ? 1.0 : -1.0;
+    sum += sign * binom * std::exp(20.0 * sinr * (1.0 / static_cast<double>(k) - 1.0));
+  }
+  const double ber = (8.0 / 15.0) * (1.0 / 16.0) * sum;
+  return ber < 0.0 ? 0.0 : (ber > 0.5 ? 0.5 : ber);
+}
+
+double per_from_ber(double ber, std::size_t bits) {
+  ZEIOT_CHECK_MSG(ber >= 0.0 && ber <= 1.0, "BER must be in [0,1]");
+  if (ber == 0.0) return 0.0;
+  // 1 - (1-ber)^bits, computed in log space for numerical stability.
+  return 1.0 - std::exp(static_cast<double>(bits) * std::log1p(-ber));
+}
+
+double ber_80211(double snr, double coding_gain_db) {
+  ZEIOT_CHECK_MSG(snr >= 0.0, "SNR must be >= 0");
+  return ber_bpsk(snr * db_to_ratio(coding_gain_db));
+}
+
+}  // namespace zeiot::radio

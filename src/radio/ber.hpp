@@ -1,0 +1,35 @@
+// Bit- and packet-error-rate models for the PHYs used in the paper's
+// ecosystem: IEEE 802.11 OFDM, IEEE 802.15.4 O-QPSK/DSSS, Bluetooth GFSK,
+// and non-coherent backscatter on-off keying.
+//
+// All functions take the per-bit (or per-symbol) SNR as a *linear* ratio.
+#pragma once
+
+#include <cstddef>
+
+namespace zeiot::radio {
+
+/// Gaussian tail function Q(x) = P[N(0,1) > x].
+double q_function(double x);
+
+/// Coherent BPSK/QPSK bit error rate at Eb/N0 = `ebn0` (linear).
+double ber_bpsk(double ebn0);
+
+/// Non-coherent binary FSK / OOK with envelope detection — the standard
+/// model for ultra-simple backscatter receivers: 0.5 * exp(-snr/2).
+double ber_noncoherent_ook(double snr);
+
+/// IEEE 802.15.4 2.4 GHz O-QPSK with 32-chip DSSS (16-ary orthogonal
+/// approximation per the standard's Annex E formula).  `sinr` is the
+/// per-chip SINR (linear).
+double ber_802154(double sinr);
+
+/// Packet error rate for `bits` independent bit errors at rate `ber`.
+double per_from_ber(double ber, std::size_t bits);
+
+/// Effective BER of an OFDM 802.11 link, abstracted as BPSK over the
+/// per-subcarrier SNR with a coding gain of `coding_gain_db` (default 3 dB,
+/// approximating rate-1/2 convolutional coding).
+double ber_80211(double snr, double coding_gain_db = 3.0);
+
+}  // namespace zeiot::radio

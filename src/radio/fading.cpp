@@ -1,0 +1,30 @@
+#include "radio/fading.hpp"
+
+#include <cmath>
+
+namespace zeiot::radio {
+
+double rayleigh_power_gain(Rng& rng) { return rng.exponential(1.0); }
+
+double rician_power_gain(Rng& rng, double k) {
+  ZEIOT_CHECK_MSG(k >= 0.0, "Rician K-factor must be >= 0");
+  const auto h = rician_coeff(rng, k, 0.0);
+  return std::norm(h);
+}
+
+std::complex<double> rayleigh_coeff(Rng& rng) {
+  // Independent real/imag N(0, 1/2) gives E[|h|^2] = 1.
+  const double s = std::sqrt(0.5);
+  return {rng.normal(0.0, s), rng.normal(0.0, s)};
+}
+
+std::complex<double> rician_coeff(Rng& rng, double k, double los_phase) {
+  ZEIOT_CHECK_MSG(k >= 0.0, "Rician K-factor must be >= 0");
+  const double los_amp = std::sqrt(k / (k + 1.0));
+  const double nlos_scale = std::sqrt(1.0 / (k + 1.0));
+  const std::complex<double> los{los_amp * std::cos(los_phase),
+                                 los_amp * std::sin(los_phase)};
+  return los + nlos_scale * rayleigh_coeff(rng);
+}
+
+}  // namespace zeiot::radio

@@ -1,0 +1,28 @@
+// Small-scale fading sample generators.
+//
+// Used (a) to perturb instantaneous RSSI measurements in the sensing
+// simulators and (b) to synthesize multipath CSI.  Power gains are
+// normalised to unit mean so they compose with the large-scale models.
+#pragma once
+
+#include <complex>
+
+#include "common/rng.hpp"
+
+namespace zeiot::radio {
+
+/// One Rayleigh-fading power gain (exponential with unit mean).
+double rayleigh_power_gain(Rng& rng);
+
+/// One Rician-fading power gain with K-factor `k` (linear, >= 0).
+/// k = 0 degenerates to Rayleigh; large k approaches a constant 1.
+double rician_power_gain(Rng& rng, double k);
+
+/// Complex circular Gaussian sample with E[|h|^2] = 1 (Rayleigh amplitude).
+std::complex<double> rayleigh_coeff(Rng& rng);
+
+/// Complex Rician coefficient: deterministic LoS component of relative power
+/// k/(k+1) at `los_phase` radians plus scattered component.
+std::complex<double> rician_coeff(Rng& rng, double k, double los_phase);
+
+}  // namespace zeiot::radio

@@ -1,0 +1,64 @@
+#include "sensing/rssi/choco.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace zeiot::sensing::rssi {
+
+ChocoRound run_flood(const std::vector<std::vector<int>>& adjacency,
+                     int initiator, const ChocoConfig& cfg) {
+  const int n = static_cast<int>(adjacency.size());
+  ZEIOT_CHECK_MSG(n > 0, "empty network");
+  ZEIOT_CHECK_MSG(initiator >= 0 && initiator < n, "initiator out of range");
+  ZEIOT_CHECK_MSG(cfg.slot_s > 0.0, "slot length must be > 0");
+  ZEIOT_CHECK_MSG(cfg.retransmissions >= 1, "need >= 1 retransmission");
+
+  ChocoRound round;
+  round.reception_slot.assign(static_cast<std::size_t>(n), -1);
+  // Constructive-interference flood == BFS by slots: everyone who received
+  // in slot s transmits in slot s+1; simultaneous transmissions reinforce
+  // rather than collide.
+  std::queue<int> frontier;
+  round.reception_slot[static_cast<std::size_t>(initiator)] = 0;
+  frontier.push(initiator);
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop();
+    const int next_slot = round.reception_slot[static_cast<std::size_t>(u)] + 1;
+    for (int v : adjacency[static_cast<std::size_t>(u)]) {
+      ZEIOT_CHECK_MSG(v >= 0 && v < n, "adjacency references unknown node");
+      if (round.reception_slot[static_cast<std::size_t>(v)] == -1) {
+        round.reception_slot[static_cast<std::size_t>(v)] = next_slot;
+        frontier.push(v);
+      }
+    }
+  }
+
+  int max_slot = 0;
+  int min_slot = 0;
+  for (int s : round.reception_slot) {
+    if (s >= 0) max_slot = std::max(max_slot, s);
+  }
+  round.flood_slots = max_slot + cfg.retransmissions;
+  round.round_duration_s =
+      (round.flood_slots + cfg.measurement_slots) * cfg.slot_s;
+  round.max_skew_s = static_cast<double>(max_slot - min_slot) * cfg.slot_s;
+  return round;
+}
+
+std::vector<std::vector<int>> connectivity_graph(
+    const std::vector<Point2D>& nodes, double range_m) {
+  ZEIOT_CHECK_MSG(range_m > 0.0, "range must be > 0");
+  std::vector<std::vector<int>> adj(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      if (distance(nodes[i], nodes[j]) <= range_m) {
+        adj[i].push_back(static_cast<int>(j));
+        adj[j].push_back(static_cast<int>(i));
+      }
+    }
+  }
+  return adj;
+}
+
+}  // namespace zeiot::sensing::rssi

@@ -1,0 +1,53 @@
+// "Choco" synchronized-transmission rounds (paper Sec. IV.B, ref [66]).
+//
+// Choco is a WSN platform built on simultaneous (Glossy-style constructive
+// interference) flooding: the initiator transmits in slot 0 and every node
+// retransmits in the slot after its first reception, so the whole network
+// receives within a few slots and shares a tight time reference.  The
+// congestion-estimation system rides on this: inter-node RSSI and
+// surrounding RSSI are sampled in dedicated slots of the same round, which
+// is what makes the two measurements strictly synchronized.
+//
+// This module models the flood at slot granularity (who hears whom is
+// given by the connectivity graph) and derives the measurement schedule:
+// per-node flood latency, round duration, and the time skew bound between
+// any two nodes' samples.
+#pragma once
+
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/error.hpp"
+
+namespace zeiot::sensing::rssi {
+
+struct ChocoConfig {
+  /// Slot length: one 802.15.4 frame plus turnaround.
+  double slot_s = 1.5e-3;
+  /// Retransmissions each node performs after first reception.
+  int retransmissions = 1;
+  /// Slots appended to the flood for the two RSSI sampling phases.
+  int measurement_slots = 2;
+};
+
+struct ChocoRound {
+  /// Slot of first reception per node (-1 = unreachable, 0 = initiator).
+  std::vector<int> reception_slot;
+  /// Total slots of the flood (max reception + retransmissions).
+  int flood_slots = 0;
+  /// Wall-clock duration of the full round including measurement slots.
+  double round_duration_s = 0.0;
+  /// Worst-case sampling skew between any two reachable nodes.
+  double max_skew_s = 0.0;
+};
+
+/// Simulates one flood round over the connectivity graph `adjacency`
+/// (adjacency[i] lists the neighbours of node i) from `initiator`.
+ChocoRound run_flood(const std::vector<std::vector<int>>& adjacency,
+                     int initiator, const ChocoConfig& cfg = {});
+
+/// Builds a connectivity graph from node positions and a radio range.
+std::vector<std::vector<int>> connectivity_graph(
+    const std::vector<Point2D>& nodes, double range_m);
+
+}  // namespace zeiot::sensing::rssi

@@ -1,0 +1,191 @@
+#include "sensing/rssi/room_count.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace zeiot::sensing::rssi {
+
+namespace {
+
+std::vector<Point2D> node_layout(const RoomConfig& cfg) {
+  // Nodes around the room perimeter (typical for structural monitoring /
+  // smart-meter deployments repurposed for sensing).
+  std::vector<Point2D> nodes;
+  const int n = cfg.num_nodes;
+  for (int i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n);
+    const double perim = 2.0 * (cfg.room.width() + cfg.room.height());
+    double s = t * perim;
+    Point2D p;
+    if (s < cfg.room.width()) {
+      p = {cfg.room.x0 + s, cfg.room.y0 + 0.2};
+    } else if ((s -= cfg.room.width()) < cfg.room.height()) {
+      p = {cfg.room.x1 - 0.2, cfg.room.y0 + s};
+    } else if ((s -= cfg.room.height()) < cfg.room.width()) {
+      p = {cfg.room.x1 - s, cfg.room.y1 - 0.2};
+    } else {
+      s -= cfg.room.width();
+      p = {cfg.room.x0 + 0.2, cfg.room.y1 - s};
+    }
+    nodes.push_back(p);
+  }
+  return nodes;
+}
+
+double seg_distance(Point2D a, Point2D b, Point2D p) {
+  const double dx = b.x - a.x, dy = b.y - a.y;
+  const double len2 = dx * dx + dy * dy;
+  if (len2 == 0.0) return distance(a, p);
+  double t = ((p.x - a.x) * dx + (p.y - a.y) * dy) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return distance({a.x + t * dx, a.y + t * dy}, p);
+}
+
+double link_rssi(const RoomConfig& cfg, Point2D a, Point2D b,
+                 const std::vector<Point2D>& people) {
+  const double d = std::max(0.3, distance(a, b));
+  double rssi = cfg.tx_power_dbm - cfg.loss_1m_db -
+                10.0 * cfg.path_loss_exp * std::log10(d);
+  for (const Point2D& p : people) {
+    if (seg_distance(a, b, p) < cfg.corridor_width_m) {
+      rssi -= cfg.body_loss_db;
+    }
+  }
+  return std::max(rssi, cfg.noise_floor_dbm);
+}
+
+}  // namespace
+
+std::vector<double> empty_baseline(const RoomConfig& cfg) {
+  const auto nodes = node_layout(cfg);
+  std::vector<double> base;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      base.push_back(link_rssi(cfg, nodes[i], nodes[j], {}));
+    }
+  }
+  return base;
+}
+
+RoomMeasurement measure_room(const RoomConfig& cfg, int people, Rng& rng) {
+  ZEIOT_CHECK_MSG(people >= 0, "people must be >= 0");
+  const auto nodes = node_layout(cfg);
+  RoomMeasurement m;
+  m.true_count = people;
+
+  std::vector<Point2D> occupants;
+  for (int p = 0; p < people; ++p) {
+    occupants.push_back({rng.uniform(cfg.room.x0 + 0.5, cfg.room.x1 - 0.5),
+                         rng.uniform(cfg.room.y0 + 0.5, cfg.room.y1 - 0.5)});
+  }
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      const double mu = link_rssi(cfg, nodes[i], nodes[j], occupants);
+      m.inter_node_rssi.push_back(std::max(
+          cfg.noise_floor_dbm, mu + rng.normal(0.0, cfg.shadowing_sigma_db)));
+    }
+  }
+
+  // Surrounding RSSI: total foreign power at each node from carried devices.
+  for (const Point2D& n : nodes) {
+    double watt = dbm_to_watt(cfg.noise_floor_dbm);
+    for (const Point2D& o : occupants) {
+      if (!rng.bernoulli(cfg.device_carry_prob)) continue;
+      const double d = std::max(0.3, distance(n, o));
+      const double rssi = cfg.device_tx_dbm - cfg.loss_1m_db -
+                          10.0 * cfg.path_loss_exp * std::log10(d) +
+                          rng.normal(0.0, cfg.shadowing_sigma_db);
+      watt += dbm_to_watt(rssi);
+    }
+    m.surrounding_rssi.push_back(watt_to_dbm(watt));
+  }
+  return m;
+}
+
+RoomCountEstimator::RoomCountEstimator(RoomConfig cfg)
+    : cfg_(cfg), baseline_(empty_baseline(cfg)) {}
+
+std::vector<double> RoomCountEstimator::features(
+    const RoomMeasurement& m) const {
+  ZEIOT_CHECK_MSG(m.inter_node_rssi.size() == baseline_.size(),
+                  "measurement/baseline size mismatch");
+  double dev_sum = 0.0, dev_max = 0.0;
+  int blocked = 0, touched = 0;
+  double blocked_depth = 0.0;
+  for (std::size_t i = 0; i < baseline_.size(); ++i) {
+    const double dev = baseline_[i] - m.inter_node_rssi[i];
+    dev_sum += dev;
+    dev_max = std::max(dev_max, dev);
+    if (dev > cfg_.body_loss_db * 0.8) {
+      ++blocked;
+      // Quantised blockage depth: a link crossed by k people loses
+      // roughly k * body_loss, so the rounded ratio counts crossers.
+      blocked_depth += std::round(dev / cfg_.body_loss_db);
+    }
+    if (dev > cfg_.body_loss_db * 0.4) ++touched;
+  }
+  const double dev_mean = dev_sum / static_cast<double>(baseline_.size());
+
+  double sur_sum = 0.0, sur_max = -1e9;
+  double sur_linear_w = 0.0;
+  for (double s : m.surrounding_rssi) {
+    sur_sum += s;
+    sur_max = std::max(sur_max, s);
+    sur_linear_w += dbm_to_watt(s);
+  }
+  const double sur_mean =
+      sur_sum / static_cast<double>(m.surrounding_rssi.size());
+  return {dev_mean,
+          dev_max,
+          static_cast<double>(blocked),
+          static_cast<double>(touched),
+          blocked_depth,
+          sur_mean,
+          sur_max,
+          std::log10(sur_linear_w + 1e-15)};
+}
+
+void RoomCountEstimator::train(int rounds_per_count, Rng& rng) {
+  ZEIOT_CHECK_MSG(rounds_per_count > 0, "need training rounds");
+  ml::FeatureMatrix x;
+  ml::LabelVector y;
+  for (int c = 0; c <= cfg_.max_people; ++c) {
+    for (int r = 0; r < rounds_per_count; ++r) {
+      x.push_back(features(measure_room(cfg_, c, rng)));
+      y.push_back(c);
+    }
+  }
+  nb_.fit(x, y);
+  trained_ = true;
+}
+
+int RoomCountEstimator::estimate(const RoomMeasurement& m) const {
+  ZEIOT_CHECK_MSG(trained_, "RoomCountEstimator::train first");
+  return nb_.predict(features(m));
+}
+
+RoomEvalResult evaluate_room_pipeline(const RoomConfig& cfg,
+                                      int train_rounds_per_count,
+                                      int eval_rounds_per_count, Rng& rng) {
+  RoomCountEstimator est(cfg);
+  est.train(train_rounds_per_count, rng);
+  RoomEvalResult res;
+  res.confusion = ConfusionMatrix(static_cast<std::size_t>(cfg.max_people + 1));
+  for (int c = 0; c <= cfg.max_people; ++c) {
+    for (int r = 0; r < eval_rounds_per_count; ++r) {
+      const auto m = measure_room(cfg, c, rng);
+      const int pred = est.estimate(m);
+      res.confusion.add(static_cast<std::size_t>(c),
+                        static_cast<std::size_t>(pred));
+    }
+  }
+  res.exact_accuracy = res.confusion.accuracy();
+  res.within_two_accuracy = res.confusion.accuracy_within(2);
+  res.mean_absolute_error = res.confusion.mean_absolute_error();
+  return res;
+}
+
+}  // namespace zeiot::sensing::rssi

@@ -1,0 +1,97 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace zeiot::sim {
+
+Simulator::~Simulator() {
+  while (!heap_.empty()) {
+    delete heap_.top();
+    heap_.pop();
+  }
+}
+
+EventHandle Simulator::push(Time t, Callback cb) {
+  auto* ev = new Event{t, next_seq_++, std::move(cb), false};
+  heap_.push(ev);
+  live_ids_.insert(ev->seq);
+  return EventHandle(ev->seq);
+}
+
+EventHandle Simulator::schedule(Time delay, Callback cb) {
+  ZEIOT_CHECK_MSG(delay >= 0.0, "schedule() requires delay >= 0, got " << delay);
+  return push(now_ + delay, std::move(cb));
+}
+
+EventHandle Simulator::schedule_at(Time t, Callback cb) {
+  ZEIOT_CHECK_MSG(t >= now_, "schedule_at() in the past: t=" << t
+                                                             << " now=" << now_);
+  return push(t, std::move(cb));
+}
+
+bool Simulator::cancel(EventHandle h) {
+  if (h.id_ == 0) return false;
+  // Cancellation is lazy: the event cannot be removed from the middle of the
+  // heap, so drop it from the live set and skip it when it surfaces.
+  return live_ids_.erase(h.id_) > 0;
+}
+
+void Simulator::pop_and_run() {
+  std::unique_ptr<Event> ev(heap_.top());
+  heap_.pop();
+  if (live_ids_.erase(ev->seq) == 0) return;  // was cancelled
+  now_ = ev->time;
+  ev->cb();
+}
+
+std::size_t Simulator::run(std::size_t limit) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && executed < limit) {
+    pop_and_run();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t Simulator::run_until(Time t) {
+  ZEIOT_CHECK_MSG(t >= now_, "run_until() in the past");
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top()->time <= t) {
+    pop_and_run();
+    ++executed;
+  }
+  now_ = std::max(now_, t);
+  return executed;
+}
+
+PeriodicTimer::PeriodicTimer(Simulator& sim, Time period,
+                             Simulator::Callback cb)
+    : sim_(sim), period_(period), cb_(std::move(cb)) {
+  ZEIOT_CHECK_MSG(period > 0.0, "PeriodicTimer requires period > 0");
+}
+
+PeriodicTimer::~PeriodicTimer() { stop(); }
+
+void PeriodicTimer::start() {
+  if (running_) return;
+  running_ = true;
+  arm();
+}
+
+void PeriodicTimer::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+  pending_ = EventHandle{};
+}
+
+void PeriodicTimer::arm() {
+  pending_ = sim_.schedule(period_, [this] {
+    if (!running_) return;
+    cb_();
+    if (running_) arm();
+  });
+}
+
+}  // namespace zeiot::sim

@@ -1,0 +1,116 @@
+// Discrete-event simulation kernel.
+//
+// All protocol simulations in the library (backscatter MAC coexistence,
+// WSN data collection, energy harvesting) run on this kernel: a priority
+// queue of timestamped callbacks with deterministic FIFO tie-breaking so a
+// given seed always reproduces the same trajectory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace zeiot::sim {
+
+/// Simulation time in seconds.
+using Time = double;
+
+/// Opaque handle for cancelling a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;  // 0 = null handle
+};
+
+/// Event-driven simulator.  Not thread-safe; one instance per experiment.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.  Starts at 0.
+  Time now() const { return now_; }
+
+  /// Schedules `cb` to run `delay` seconds from now (delay >= 0).
+  EventHandle schedule(Time delay, Callback cb);
+
+  /// Schedules `cb` at absolute time `t` (t >= now()).
+  EventHandle schedule_at(Time t, Callback cb);
+
+  /// Cancels a previously scheduled event.  Returns false if the event
+  /// already ran, was already cancelled, or the handle is null.
+  bool cancel(EventHandle h);
+
+  /// Runs events until the queue is empty or `limit` events have fired.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t limit = SIZE_MAX);
+
+  /// Runs events with timestamp <= `t`, then advances the clock to `t`.
+  std::size_t run_until(Time t);
+
+  /// Number of events currently pending (scheduled, not yet run/cancelled).
+  std::size_t pending() const { return live_ids_.size(); }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;  // FIFO tie-break and cancellation id
+    Callback cb;
+    bool cancelled = false;
+  };
+  struct Order {
+    bool operator()(const Event* a, const Event* b) const {
+      if (a->time != b->time) return a->time > b->time;
+      return a->seq > b->seq;
+    }
+  };
+
+  EventHandle push(Time t, Callback cb);
+  void pop_and_run();
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  // Events are heap-allocated individually (owned; freed when popped) so the
+  // priority queue can hold stable pointers.  live_ids_ tracks events that
+  // are scheduled and not cancelled.
+  std::priority_queue<Event*, std::vector<Event*>, Order> heap_;
+  std::unordered_set<std::uint64_t> live_ids_;
+};
+
+/// Repeating timer helper: reschedules itself every `period` until stopped.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, Time period, Simulator::Callback cb);
+  ~PeriodicTimer();
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Starts firing `period` from now.  No-op if already running.
+  void start();
+  /// Stops future firings.
+  void stop();
+  bool running() const { return running_; }
+
+ private:
+  void arm();
+
+  Simulator& sim_;
+  Time period_;
+  Simulator::Callback cb_;
+  EventHandle pending_{};
+  bool running_ = false;
+};
+
+}  // namespace zeiot::sim

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "backscatter/bmac.hpp"
+#include "backscatter/coexistence.hpp"
+
+namespace zeiot::backscatter {
+namespace {
+
+TEST(CycleScheduler, RegistersAndRejectsDuplicates) {
+  CycleScheduler s;
+  s.register_device({1, 1.0, 8});
+  EXPECT_THROW(s.register_device({1, 2.0, 8}), Error);
+  EXPECT_EQ(s.registrations().size(), 1u);
+  EXPECT_DOUBLE_EQ(s.registration(1).period_s, 1.0);
+  EXPECT_THROW(s.registration(9), Error);
+}
+
+TEST(CycleScheduler, RejectsBadRegistration) {
+  CycleScheduler s;
+  EXPECT_THROW(s.register_device({1, 0.0, 8}), Error);
+  EXPECT_THROW(s.register_device({1, 1.0, 0}), Error);
+}
+
+TEST(CycleScheduler, EdfOrder) {
+  CycleScheduler s;
+  s.enqueue({1, 0.0, 5.0});
+  s.enqueue({2, 0.0, 2.0});
+  s.enqueue({3, 0.0, 8.0});
+  std::size_t expired = 0;
+  auto f = s.pop_earliest_deadline(0.0, 0.1, expired);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->device, 2u);
+  f = s.pop_earliest_deadline(0.0, 0.1, expired);
+  EXPECT_EQ(f->device, 1u);
+  EXPECT_EQ(expired, 0u);
+}
+
+TEST(CycleScheduler, SkipsUnmeetableDeadlines) {
+  CycleScheduler s;
+  s.enqueue({1, 0.0, 1.0});
+  s.enqueue({2, 0.0, 10.0});
+  std::size_t expired = 0;
+  // At t=0.95 a 0.1s transmission cannot meet the 1.0 deadline.
+  auto f = s.pop_earliest_deadline(0.95, 0.1, expired);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->device, 2u);
+  EXPECT_EQ(expired, 1u);
+}
+
+TEST(CycleScheduler, DropExpired) {
+  CycleScheduler s;
+  s.enqueue({1, 0.0, 1.0});
+  s.enqueue({2, 0.0, 2.0});
+  s.enqueue({3, 0.0, 3.0});
+  EXPECT_EQ(s.drop_expired(2.5), 2u);
+  EXPECT_EQ(s.pending_count(), 1u);
+  EXPECT_DOUBLE_EQ(s.next_deadline(), 3.0);
+}
+
+TEST(CycleScheduler, NextDeadlineInfinityWhenEmpty) {
+  CycleScheduler s;
+  EXPECT_TRUE(std::isinf(s.next_deadline()));
+  EXPECT_FALSE(s.has_pending());
+}
+
+TEST(CycleScheduler, EnqueueRejectsInvertedTimes) {
+  CycleScheduler s;
+  EXPECT_THROW(s.enqueue({1, 5.0, 4.0}), Error);
+}
+
+CoexistenceConfig base_config(MacMode mode) {
+  CoexistenceConfig cfg;
+  cfg.mode = mode;
+  cfg.duration_s = 30.0;
+  cfg.wlan_rate_hz = 150.0;
+  cfg.num_devices = 6;
+  cfg.device_period_s = 1.0;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(Coexistence, CountsAreConsistentProposed) {
+  CoexistenceSimulator sim(base_config(MacMode::Proposed));
+  const auto m = sim.run();
+  EXPECT_GT(m.frames_generated, 0u);
+  EXPECT_LE(m.frames_delivered + m.frames_expired + m.frames_collided,
+            m.frames_generated);
+  EXPECT_LE(m.wlan_delivered, m.wlan_offered + m.wlan_corrupted);
+  EXPECT_GE(m.utilization, 0.0);
+  EXPECT_LE(m.utilization, 1.0);
+}
+
+TEST(Coexistence, CountsAreConsistentNaive) {
+  CoexistenceSimulator sim(base_config(MacMode::Naive));
+  const auto m = sim.run();
+  EXPECT_GT(m.frames_generated, 0u);
+  // A frame can collide several times before expiring, so only the
+  // terminal outcomes are bounded by the generation count.
+  EXPECT_LE(m.frames_delivered + m.frames_expired, m.frames_generated);
+  EXPECT_GE(m.delivery_ratio(), 0.0);
+  EXPECT_LE(m.delivery_ratio(), 1.0);
+}
+
+TEST(Coexistence, ProposedDeliversUnderModerateLoad) {
+  CoexistenceSimulator sim(base_config(MacMode::Proposed));
+  const auto m = sim.run();
+  EXPECT_GT(m.delivery_ratio(), 0.9);
+}
+
+TEST(Coexistence, ProposedBeatsNaiveAtLowWlanLoad) {
+  // The paper: without enough WLAN traffic, uncoordinated backscatter
+  // starves; the proposed MAC fills the gap with dummy packets.
+  auto p = base_config(MacMode::Proposed);
+  auto n = base_config(MacMode::Naive);
+  p.wlan_rate_hz = n.wlan_rate_hz = 5.0;  // sparse carriers
+  const auto mp = CoexistenceSimulator(p).run();
+  const auto mn = CoexistenceSimulator(n).run();
+  EXPECT_GT(mp.delivery_ratio(), mn.delivery_ratio() + 0.2);
+}
+
+TEST(Coexistence, ProposedUsesDummiesOnlyWhenNeeded) {
+  auto low = base_config(MacMode::Proposed);
+  low.wlan_rate_hz = 2.0;
+  auto high = base_config(MacMode::Proposed);
+  high.wlan_rate_hz = 400.0;
+  const auto ml = CoexistenceSimulator(low).run();
+  const auto mh = CoexistenceSimulator(high).run();
+  EXPECT_GT(ml.dummy_airtime_fraction, mh.dummy_airtime_fraction);
+}
+
+TEST(Coexistence, NaiveCorruptsWlanMore) {
+  auto p = base_config(MacMode::Proposed);
+  auto n = base_config(MacMode::Naive);
+  const auto mp = CoexistenceSimulator(p).run();
+  const auto mn = CoexistenceSimulator(n).run();
+  EXPECT_GT(mn.wlan_error_rate(), mp.wlan_error_rate());
+}
+
+TEST(Coexistence, NaiveCollidesWithManyDevices) {
+  auto n = base_config(MacMode::Naive);
+  n.num_devices = 20;
+  const auto m = CoexistenceSimulator(n).run();
+  EXPECT_GT(m.frames_collided, 0u);
+}
+
+TEST(Coexistence, DeterministicForSeed) {
+  const auto m1 = CoexistenceSimulator(base_config(MacMode::Proposed)).run();
+  const auto m2 = CoexistenceSimulator(base_config(MacMode::Proposed)).run();
+  EXPECT_EQ(m1.frames_delivered, m2.frames_delivered);
+  EXPECT_EQ(m1.wlan_delivered, m2.wlan_delivered);
+  EXPECT_DOUBLE_EQ(m1.utilization, m2.utilization);
+}
+
+TEST(Coexistence, RejectsBadConfig) {
+  auto cfg = base_config(MacMode::Proposed);
+  cfg.num_devices = 0;
+  EXPECT_THROW(CoexistenceSimulator{cfg}, Error);
+  cfg = base_config(MacMode::Proposed);
+  cfg.duration_s = 0.0;
+  EXPECT_THROW(CoexistenceSimulator{cfg}, Error);
+}
+
+TEST(Coexistence, WlanGoodputScalesWithLoad) {
+  auto lo = base_config(MacMode::Proposed);
+  lo.wlan_rate_hz = 20.0;
+  auto hi = base_config(MacMode::Proposed);
+  hi.wlan_rate_hz = 200.0;
+  const auto ml = CoexistenceSimulator(lo).run();
+  const auto mh = CoexistenceSimulator(hi).run();
+  EXPECT_GT(mh.wlan_goodput_bps, ml.wlan_goodput_bps * 2.0);
+}
+
+// Property sweep: delivery ratio stays within [0,1] and counters stay
+// consistent across a grid of loads and fleet sizes, both modes.
+struct CoexParam {
+  MacMode mode;
+  double rate;
+  std::size_t devices;
+};
+
+class CoexistenceSweep : public ::testing::TestWithParam<CoexParam> {};
+
+TEST_P(CoexistenceSweep, InvariantsHold) {
+  const auto p = GetParam();
+  CoexistenceConfig cfg;
+  cfg.mode = p.mode;
+  cfg.duration_s = 15.0;
+  cfg.wlan_rate_hz = p.rate;
+  cfg.num_devices = p.devices;
+  cfg.seed = 1234;
+  const auto m = CoexistenceSimulator(cfg).run();
+  EXPECT_GE(m.delivery_ratio(), 0.0);
+  EXPECT_LE(m.delivery_ratio(), 1.0);
+  EXPECT_GE(m.utilization, 0.0);
+  EXPECT_LE(m.utilization, 1.0 + 1e-9);
+  EXPECT_LE(m.frames_delivered, m.frames_generated);
+  EXPECT_GE(m.mean_latency_s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CoexistenceSweep,
+    ::testing::Values(CoexParam{MacMode::Proposed, 2.0, 2},
+                      CoexParam{MacMode::Proposed, 50.0, 8},
+                      CoexParam{MacMode::Proposed, 500.0, 16},
+                      CoexParam{MacMode::Naive, 2.0, 2},
+                      CoexParam{MacMode::Naive, 50.0, 8},
+                      CoexParam{MacMode::Naive, 500.0, 16}));
+
+}  // namespace
+}  // namespace zeiot::backscatter

@@ -1,0 +1,98 @@
+// Additional coexistence properties: the proposed MAC's qualitative
+// guarantees across the operating envelope, and scheduler stress cases.
+#include <gtest/gtest.h>
+
+#include "backscatter/coexistence.hpp"
+
+namespace zeiot::backscatter {
+namespace {
+
+CoexistenceConfig cfg_for(double rate, std::size_t devices, double period,
+                          MacMode mode) {
+  CoexistenceConfig cfg;
+  cfg.mode = mode;
+  cfg.duration_s = 20.0;
+  cfg.wlan_rate_hz = rate;
+  cfg.num_devices = devices;
+  cfg.device_period_s = period;
+  cfg.seed = 2025;
+  return cfg;
+}
+
+TEST(CoexistenceProps, ProposedLatencyBoundedByCycle) {
+  // A delivered frame is always delivered within its own cycle, so the
+  // mean latency can never exceed the period.
+  for (double rate : {3.0, 30.0, 300.0}) {
+    const auto m =
+        CoexistenceSimulator(cfg_for(rate, 6, 1.0, MacMode::Proposed)).run();
+    EXPECT_LE(m.mean_latency_s, 1.0 + 1e-9) << "rate " << rate;
+  }
+}
+
+TEST(CoexistenceProps, ProposedNeverCollides) {
+  // Grants are exclusive: the only backscatter losses are noise, never
+  // tag-vs-tag collisions; collision counter only carries noise losses,
+  // bounded by noise_per fraction of grants.
+  auto cfg = cfg_for(50.0, 16, 0.5, MacMode::Proposed);
+  cfg.backscatter_noise_per = 0.0;
+  const auto m = CoexistenceSimulator(cfg).run();
+  EXPECT_EQ(m.frames_collided, 0u);
+}
+
+TEST(CoexistenceProps, ZeroNoiseProposedDeliversEverythingFeasible) {
+  auto cfg = cfg_for(100.0, 4, 1.0, MacMode::Proposed);
+  cfg.backscatter_noise_per = 0.0;
+  const auto m = CoexistenceSimulator(cfg).run();
+  EXPECT_GT(m.delivery_ratio(), 0.98);
+  EXPECT_EQ(m.frames_expired, 0u);
+}
+
+TEST(CoexistenceProps, ShorterCyclesRaiseDummyOverheadAtLowLoad) {
+  auto slow = cfg_for(2.0, 6, 4.0, MacMode::Proposed);
+  auto fast = cfg_for(2.0, 6, 0.25, MacMode::Proposed);
+  const auto ms = CoexistenceSimulator(slow).run();
+  const auto mf = CoexistenceSimulator(fast).run();
+  // 16x the demand with the same scarce WLAN carriers: the AP must inject
+  // more dummy airtime.
+  EXPECT_GT(mf.dummy_airtime_fraction, ms.dummy_airtime_fraction);
+}
+
+TEST(CoexistenceProps, NoWlanTrafficAtAll) {
+  // Pure-dummy operation: the MAC must still serve every cycle.
+  auto cfg = cfg_for(50.0, 6, 1.0, MacMode::Proposed);
+  cfg.wlan_rate_hz = 0.0;
+  const auto m = CoexistenceSimulator(cfg).run();
+  EXPECT_EQ(m.wlan_offered, 0u);
+  EXPECT_GT(m.delivery_ratio(), 0.9);
+  EXPECT_GT(m.dummy_airtime_fraction, 0.0);
+}
+
+TEST(CoexistenceProps, NaiveStarvesWithoutCarriers) {
+  auto cfg = cfg_for(50.0, 6, 1.0, MacMode::Naive);
+  cfg.wlan_rate_hz = 0.0;
+  const auto m = CoexistenceSimulator(cfg).run();
+  EXPECT_DOUBLE_EQ(m.delivery_ratio(), 0.0);
+}
+
+TEST(CoexistenceProps, SeedChangesTrajectoriesButNotInvariants) {
+  auto a = cfg_for(40.0, 8, 1.0, MacMode::Naive);
+  auto b = a;
+  b.seed = 777;
+  const auto ma = CoexistenceSimulator(a).run();
+  const auto mb = CoexistenceSimulator(b).run();
+  EXPECT_NE(ma.frames_delivered, mb.frames_delivered);
+  for (const auto& m : {ma, mb}) {
+    EXPECT_LE(m.frames_delivered + m.frames_expired, m.frames_generated);
+  }
+}
+
+TEST(CoexistenceProps, UtilizationGrowsWithEverything) {
+  const auto quiet =
+      CoexistenceSimulator(cfg_for(5.0, 2, 2.0, MacMode::Proposed)).run();
+  const auto busy =
+      CoexistenceSimulator(cfg_for(500.0, 16, 0.25, MacMode::Proposed)).run();
+  EXPECT_GT(busy.utilization, quiet.utilization);
+}
+
+}  // namespace
+}  // namespace zeiot::backscatter

@@ -1,0 +1,154 @@
+// Exact-value tests of the communication-cost accounting on topologies
+// small enough to compute by hand — the ground truth behind the Fig.-10
+// numbers.
+#include <gtest/gtest.h>
+
+#include "microdeep/comm_cost.hpp"
+
+namespace zeiot::microdeep {
+namespace {
+
+/// Two nodes on a line covering a 1x2 cell field.
+struct TinyWorld {
+  TinyWorld()
+      : wsn({{0.5, 0.5}, {1.5, 0.5}}, {0.0, 0.0, 2.0, 1.0}, 1.2),
+        rng(1) {}
+
+  WsnTopology wsn;
+  Rng rng;
+};
+
+TEST(CommCostExact, AllLocalIsFree) {
+  TinyWorld w;
+  // 1x1 convolution: each conv unit sits exactly on its input cell.
+  ml::Network net;
+  net.emplace<ml::Conv2D>(1, 1, 1, 0, w.rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::Flatten>();
+  net.emplace<ml::Dense>(2, 2, w.rng);
+  const auto g = UnitGraph::build(net, {1, 1, 2});
+  const auto a = assign_nearest(g, w.wsn);
+  // Input and conv units are colocated; only conv->dense can cross.
+  const UnitLayer& conv = g.layers()[1];
+  for (int i = 0; i < conv.num_units(); ++i) {
+    const UnitId u = conv.first_unit + static_cast<UnitId>(i);
+    EXPECT_EQ(a.node_of(u), a.node_of(static_cast<UnitId>(i)));
+  }
+}
+
+TEST(CommCostExact, SingleDenseUnitAggregationTree) {
+  TinyWorld w;
+  ml::Network net;
+  net.emplace<ml::Conv2D>(1, 1, 1, 0, w.rng);
+  net.emplace<ml::Flatten>();
+  net.emplace<ml::Dense>(2, 1, w.rng);  // one output unit
+  const auto g = UnitGraph::build(net, {1, 1, 2});
+  const auto a = assign_nearest(g, w.wsn);
+  // The dense unit rasters to the area centre -> nearest is node 0; its
+  // sources are the conv units on nodes 0 and 1; only node 1 contributes a
+  // tree edge (1 -> 0), traversed forward and backward.
+  const auto r = compute_comm_cost(a, w.wsn);
+  EXPECT_DOUBLE_EQ(r.total_messages, 2.0);           // 1 up + 1 down
+  EXPECT_DOUBLE_EQ(r.total_hop_transmissions, 2.0);
+  EXPECT_DOUBLE_EQ(r.per_node[0], 2.0);
+  EXPECT_DOUBLE_EQ(r.per_node[1], 2.0);
+  EXPECT_DOUBLE_EQ(r.max_cost, 2.0);
+}
+
+TEST(CommCostExact, UnicastDedupVsAggregation) {
+  TinyWorld w;
+  ml::Network net;
+  net.emplace<ml::Conv2D>(1, 1, 1, 0, w.rng);
+  net.emplace<ml::Flatten>();
+  net.emplace<ml::Dense>(2, 2, w.rng);  // two output units
+  const auto g = UnitGraph::build(net, {1, 1, 2});
+  // Hand-built assignment: inputs and conv units stay on their cells'
+  // nodes; BOTH dense units are pinned to node 0, so the remote conv unit
+  // (node 1) feeds two consumers on the same destination node.
+  std::vector<NodeId> map(g.num_units());
+  map[0] = 0;  // input cell 0
+  map[1] = 1;  // input cell 1
+  const UnitLayer& conv = g.layers()[1];
+  map[conv.first_unit + 0] = 0;
+  map[conv.first_unit + 1] = 1;
+  const UnitLayer& dense = g.layers()[2];
+  map[dense.first_unit + 0] = 0;
+  map[dense.first_unit + 1] = 0;
+  const Assignment a(&g, std::move(map));
+  //  * unicast: the remote conv activation travels ONCE to node 0 (dedup
+  //    by producer x destination node), and one error message returns;
+  //  * aggregation: each dense unit owns its own partial-sum tree, so the
+  //    single tree edge is paid per unit and per direction.
+  CommCostOptions unicast;
+  unicast.aggregate_dense = false;
+  CommCostOptions agg;
+  agg.aggregate_dense = true;
+  const auto ru = compute_comm_cost(a, w.wsn, unicast);
+  const auto ra = compute_comm_cost(a, w.wsn, agg);
+  EXPECT_DOUBLE_EQ(ru.total_messages, 2.0);
+  EXPECT_DOUBLE_EQ(ra.total_messages, 4.0);
+}
+
+TEST(CommCostExact, ForwardOnlyHalvesTheTree) {
+  TinyWorld w;
+  ml::Network net;
+  net.emplace<ml::Conv2D>(1, 1, 1, 0, w.rng);
+  net.emplace<ml::Flatten>();
+  net.emplace<ml::Dense>(2, 1, w.rng);
+  const auto g = UnitGraph::build(net, {1, 1, 2});
+  const auto a = assign_nearest(g, w.wsn);
+  CommCostOptions fwd;
+  fwd.include_backward = false;
+  const auto r = compute_comm_cost(a, w.wsn, fwd);
+  EXPECT_DOUBLE_EQ(r.total_messages, 1.0);
+  EXPECT_DOUBLE_EQ(r.max_cost, 1.0);
+}
+
+TEST(CommCostExact, InputGatheringCountsForwardOnly) {
+  // Centralize a 3x3 conv net on a 3-node line: every remote input cell
+  // sends its value to the sink once, and no error flows back to sensors.
+  const WsnTopology wsn({{0.5, 0.5}, {1.5, 0.5}, {2.5, 0.5}},
+                        {0.0, 0.0, 3.0, 1.0}, 1.2);
+  Rng rng(2);
+  ml::Network net;
+  net.emplace<ml::Conv2D>(1, 1, 3, 1, rng);
+  net.emplace<ml::Flatten>();
+  net.emplace<ml::Dense>(3, 1, rng);
+  const auto g = UnitGraph::build(net, {1, 1, 3});
+  const auto a = assign_centralized(g, wsn, 1);
+  const auto r = compute_comm_cost(a, wsn);
+  // Input units: cells at nodes 0,1,2; conv units all on sink node 1.
+  // Cells 0 and 2 each send one forward message (one hop each), nothing
+  // returns.  Conv/dense are colocated on the sink, so nothing else moves.
+  EXPECT_DOUBLE_EQ(r.total_messages, 2.0);
+  EXPECT_DOUBLE_EQ(r.per_node[1], 2.0);  // sink receives both
+  EXPECT_DOUBLE_EQ(r.per_node[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.per_node[2], 1.0);
+}
+
+TEST(CommCostExact, RelayChargedOnThreeNodeLine) {
+  // Force a message across the full line: sink at node 0, sensing cell at
+  // node 2 -> the value relays through node 1.
+  const WsnTopology wsn({{0.5, 0.5}, {1.5, 0.5}, {2.5, 0.5}},
+                        {0.0, 0.0, 3.0, 1.0}, 1.2);
+  Rng rng(3);
+  ml::Network net;
+  net.emplace<ml::Conv2D>(1, 1, 1, 0, rng);
+  net.emplace<ml::Flatten>();
+  net.emplace<ml::Dense>(3, 1, rng);
+  const auto g = UnitGraph::build(net, {1, 1, 3});
+  const auto a = assign_centralized(g, wsn, 0);
+  CommCostOptions fwd;
+  fwd.include_backward = false;
+  const auto r = compute_comm_cost(a, wsn, fwd);
+  // Cells at nodes 1 and 2 forward to sink 0: node1's message = 1 hop,
+  // node2's = 2 hops through node 1.
+  EXPECT_DOUBLE_EQ(r.total_messages, 2.0);
+  EXPECT_DOUBLE_EQ(r.total_hop_transmissions, 3.0);
+  EXPECT_DOUBLE_EQ(r.per_node[2], 1.0);       // tx once
+  EXPECT_DOUBLE_EQ(r.per_node[1], 1.0 + 2.0); // own tx + relay rx/tx
+  EXPECT_DOUBLE_EQ(r.per_node[0], 2.0);       // rx both messages
+}
+
+}  // namespace
+}  // namespace zeiot::microdeep

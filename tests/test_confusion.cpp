@@ -1,0 +1,98 @@
+#include "common/confusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace zeiot {
+namespace {
+
+TEST(Confusion, RejectsZeroClasses) {
+  EXPECT_THROW(ConfusionMatrix(0), Error);
+}
+
+TEST(Confusion, RejectsOutOfRangeLabels) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), Error);
+  EXPECT_THROW(cm.add(0, 2), Error);
+}
+
+TEST(Confusion, PerfectPredictions) {
+  ConfusionMatrix cm(3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (int i = 0; i < 5; ++i) cm.add(c, c);
+  }
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.mean_absolute_error(), 0.0);
+}
+
+TEST(Confusion, KnownMixture) {
+  ConfusionMatrix cm(2);
+  // 8 true positives, 2 false negatives, 1 false positive, 9 true negatives
+  for (int i = 0; i < 8; ++i) cm.add(1, 1);
+  for (int i = 0; i < 2; ++i) cm.add(1, 0);
+  for (int i = 0; i < 1; ++i) cm.add(0, 1);
+  for (int i = 0; i < 9; ++i) cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 17.0 / 20.0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 8.0 / 9.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 8.0 / 10.0);
+  const double f1 = 2.0 * (8.0 / 9.0) * 0.8 / (8.0 / 9.0 + 0.8);
+  EXPECT_NEAR(cm.f1(1), f1, 1e-12);
+}
+
+TEST(Confusion, EmptyClassHasZeroScores) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.precision(2), 0.0);
+  EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(2), 0.0);
+}
+
+TEST(Confusion, AccuracyWithinTolerance) {
+  ConfusionMatrix cm(5);
+  cm.add(2, 2);  // exact
+  cm.add(2, 3);  // off by one
+  cm.add(2, 4);  // off by two
+  cm.add(0, 4);  // off by four
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.25);
+  EXPECT_DOUBLE_EQ(cm.accuracy_within(1), 0.5);
+  EXPECT_DOUBLE_EQ(cm.accuracy_within(2), 0.75);
+  EXPECT_DOUBLE_EQ(cm.accuracy_within(4), 1.0);
+}
+
+TEST(Confusion, MeanAbsoluteError) {
+  ConfusionMatrix cm(5);
+  cm.add(2, 2);
+  cm.add(2, 4);
+  EXPECT_DOUBLE_EQ(cm.mean_absolute_error(), 1.0);
+}
+
+TEST(Confusion, CountsAccessible) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 1);
+  cm.add(0, 1);
+  EXPECT_EQ(cm.count(0, 1), 2u);
+  EXPECT_EQ(cm.count(1, 0), 0u);
+  EXPECT_EQ(cm.total(), 2u);
+}
+
+TEST(Confusion, EmptyMatrixScoresZero) {
+  ConfusionMatrix cm(4);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.accuracy_within(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.mean_absolute_error(), 0.0);
+}
+
+TEST(Confusion, PrintDoesNotThrow) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(1, 0);
+  std::ostringstream os;
+  cm.print(os, {"neg", "pos"});
+  EXPECT_NE(os.str().find("accuracy"), std::string::npos);
+  EXPECT_NE(os.str().find("neg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zeiot

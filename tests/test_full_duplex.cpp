@@ -1,0 +1,87 @@
+#include "phy/full_duplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace zeiot::phy {
+namespace {
+
+radio::LogDistance model() { return radio::LogDistance(40.0, 2.5); }
+
+TEST(FullDuplex, SicChainSums) {
+  FullDuplexAp ap;
+  EXPECT_DOUBLE_EQ(ap.total_sic_db(), 110.0);
+  EXPECT_DOUBLE_EQ(ap.residual_si_dbm(), 20.0 - 110.0);
+}
+
+TEST(FullDuplex, SicStagesMustBeNonNegative) {
+  FullDuplexAp ap;
+  ap.analog_cancellation_db = -5.0;
+  EXPECT_THROW(ap.total_sic_db(), Error);
+}
+
+TEST(FullDuplex, SinrDecreasesWithDistance) {
+  FullDuplexAp ap;
+  const auto m = model();
+  double prev = backscatter_sinr_db(ap, m, 0.5);
+  for (double d = 1.0; d <= 16.0; d *= 2.0) {
+    const double s = backscatter_sinr_db(ap, m, d);
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(FullDuplex, BetterSicExtendsRange) {
+  const auto m = model();
+  FullDuplexAp weak;
+  weak.digital_cancellation_db = 20.0;  // 90 dB total
+  FullDuplexAp strong;
+  strong.digital_cancellation_db = 50.0;  // 120 dB total
+  const double r_weak = backscatter_range_m(weak, m, 5.0);
+  const double r_strong = backscatter_range_m(strong, m, 5.0);
+  EXPECT_GT(r_strong, r_weak);
+}
+
+TEST(FullDuplex, DefaultApReachesMetres) {
+  // The paper's testbeds work at metres; the model should agree with a
+  // 110 dB SIC chain and a 5 dB decoding threshold.
+  const double r = backscatter_range_m(FullDuplexAp{}, model(), 5.0);
+  EXPECT_GT(r, 1.0);
+  EXPECT_LT(r, 100.0);
+}
+
+TEST(FullDuplex, HopelessSicYieldsZeroRange) {
+  FullDuplexAp deaf;
+  deaf.antenna_isolation_db = 10.0;
+  deaf.analog_cancellation_db = 0.0;
+  deaf.digital_cancellation_db = 0.0;
+  EXPECT_DOUBLE_EQ(backscatter_range_m(deaf, model(), 5.0), 0.0);
+}
+
+TEST(FullDuplex, ReflectionLossReducesSinrOneForOne) {
+  FullDuplexAp ap;
+  const auto m = model();
+  const double a = backscatter_sinr_db(ap, m, 3.0, 0.0);
+  const double b = backscatter_sinr_db(ap, m, 3.0, 6.0);
+  EXPECT_NEAR(a - b, 6.0, 0.2);
+}
+
+TEST(FullDuplex, MorePowerHelpsOnlyUntilSiDominates) {
+  // Raising tx power raises both signal and self-interference equally, so
+  // in the SI-limited regime the SINR saturates.
+  const auto m = model();
+  FullDuplexAp low;
+  low.tx_power_dbm = 10.0;
+  FullDuplexAp high;
+  high.tx_power_dbm = 30.0;
+  const double s_low = backscatter_sinr_db(low, m, 2.0);
+  const double s_high = backscatter_sinr_db(high, m, 2.0);
+  // Near range is noise-limited -> power helps; but never by more than
+  // the 20 dB power difference.
+  EXPECT_GE(s_high, s_low);
+  EXPECT_LE(s_high - s_low, 20.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace zeiot::phy

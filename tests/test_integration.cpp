@@ -1,0 +1,197 @@
+// Cross-module integration tests: data generators feeding MicroDeep models
+// over WSN topologies, and the headline comparisons of the paper at reduced
+// scale (the full-scale runs live in bench/).
+#include <gtest/gtest.h>
+
+#include "backscatter/coexistence.hpp"
+#include "datagen/ir_gait.hpp"
+#include "datagen/temperature_field.hpp"
+#include "microdeep/distributed.hpp"
+
+namespace zeiot {
+namespace {
+
+using microdeep::AssignmentKind;
+using microdeep::MicroDeepConfig;
+using microdeep::MicroDeepModel;
+using microdeep::WsnTopology;
+
+ml::Network temperature_cnn(Rng& rng) {
+  ml::Network net;
+  net.emplace<ml::Conv2D>(1, 4, 3, 1, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::MaxPool2D>(2);
+  net.emplace<ml::Flatten>();
+  net.emplace<ml::Dense>(4 * 8 * 12, 16, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::Dense>(16, 2, rng);
+  return net;
+}
+
+TEST(Integration, MicroDeepLearnsDiscomfortAtReducedScale) {
+  datagen::TemperatureFieldConfig dcfg;
+  dcfg.num_samples = 400;
+  const ml::Dataset all = datagen::generate_temperature_dataset(dcfg);
+  Rng split_rng(1);
+  auto [train, test] = all.stratified_split(split_rng, 0.8);
+
+  Rng rng(2);
+  ml::Network net = temperature_cnn(rng);
+  Rect area{0.0, 0.0, 50.0, 34.0};
+  Rng wsn_rng(3);
+  const auto wsn = WsnTopology::random_uniform(area, 50, wsn_rng);
+  MicroDeepConfig cfg;
+  cfg.assignment = AssignmentKind::BalancedHeuristic;
+  cfg.staleness = 0.2;
+  MicroDeepModel model(net, wsn, {1, 17, 25}, cfg);
+
+  ml::Adam opt(0.005);
+  ml::TrainConfig tcfg;
+  tcfg.epochs = 6;
+  tcfg.batch_size = 32;
+  const auto hist = model.train(train, test, tcfg, opt);
+  // The full-scale bench (2,961 samples, more epochs) reaches ~95%; at
+  // this reduced scale anything clearly above chance-with-margin passes.
+  EXPECT_GT(hist.best_val_accuracy, 0.8);
+}
+
+TEST(Integration, DistributedCutsPeakTrafficOnTemperatureGrid) {
+  Rng rng(4);
+  ml::Network net_a = temperature_cnn(rng);
+  ml::Network net_b = temperature_cnn(rng);
+  Rect area{0.0, 0.0, 50.0, 34.0};
+  Rng wsn_rng(5);
+  // The paper's lounge is a deliberately instrumented space: a (jittered)
+  // planned layout of 50 sensors, not a uniform random scattering.
+  const auto wsn = WsnTopology::jittered_grid(area, 10, 5, wsn_rng);
+
+  MicroDeepConfig central;
+  central.assignment = AssignmentKind::Centralized;
+  central.sink = 22;
+  MicroDeepConfig heur;
+  heur.assignment = AssignmentKind::BalancedHeuristic;
+
+  MicroDeepModel mc(net_a, wsn, {1, 17, 25}, central);
+  MicroDeepModel mh(net_b, wsn, {1, 17, 25}, heur);
+  const auto rc = mc.comm_cost();
+  const auto rh = mh.comm_cost();
+  // The paper reports the distributed peak at 13% of the centralized
+  // CNN's; we require at least a 2.5x cut at this configuration.
+  EXPECT_LT(rh.max_cost, rc.max_cost / 2.5);
+}
+
+TEST(Integration, StalenessCostsSomeAccuracyButNotMuch) {
+  datagen::TemperatureFieldConfig dcfg;
+  dcfg.num_samples = 300;
+  const ml::Dataset all = datagen::generate_temperature_dataset(dcfg);
+  Rng split_rng(6);
+  auto [train, test] = all.stratified_split(split_rng, 0.8);
+  Rect area{0.0, 0.0, 50.0, 34.0};
+  Rng wsn_rng(7);
+  const auto wsn = WsnTopology::random_uniform(area, 50, wsn_rng);
+
+  auto run = [&](double staleness) {
+    Rng rng(8);  // identical init for both runs
+    ml::Network net = temperature_cnn(rng);
+    MicroDeepConfig cfg;
+    cfg.staleness = staleness;
+    MicroDeepModel model(net, wsn, {1, 17, 25}, cfg);
+    ml::Adam opt(0.005);
+    ml::TrainConfig tcfg;
+    tcfg.epochs = 5;
+    tcfg.batch_size = 32;
+    return model.train(train, test, tcfg, opt).best_val_accuracy;
+  };
+  const double exact = run(0.0);
+  const double stale = run(0.5);
+  // Local updates sacrifice a little accuracy, not a collapse.
+  EXPECT_GE(exact + 0.02, stale);
+  EXPECT_GT(stale, 0.7);
+}
+
+TEST(Integration, FallDetectionPipelineAtReducedScale) {
+  datagen::IrGaitConfig dcfg;
+  dcfg.num_streams = 12;
+  dcfg.fall_streams = 6;
+  dcfg.mirror_augment = false;
+  const ml::Dataset all = datagen::generate_ir_dataset(dcfg);
+  Rng split_rng(9);
+  auto [train, test] = all.stratified_split(split_rng, 0.8);
+
+  Rng rng(10);
+  ml::Network net;
+  net.emplace<ml::Conv2D>(10, 6, 3, 1, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::MaxPool2D>(2);
+  net.emplace<ml::Flatten>();
+  net.emplace<ml::Dense>(6 * 5 * 5, 24, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::Dense>(24, 2, rng);
+
+  Rect area{0.0, 0.0, 5.0, 5.0};
+  const auto wsn = WsnTopology::grid(area, 5, 5);
+  MicroDeepConfig cfg;
+  cfg.staleness = 0.2;
+  MicroDeepModel model(net, wsn, {10, 10, 10}, cfg);
+  ml::Adam opt(0.003);
+  ml::TrainConfig tcfg;
+  tcfg.epochs = 5;
+  tcfg.batch_size = 32;
+  const auto hist = model.train(train, test, tcfg, opt);
+  EXPECT_GT(hist.best_val_accuracy, 0.8);
+}
+
+TEST(Integration, NodeFailuresDegradeGracefully) {
+  datagen::TemperatureFieldConfig dcfg;
+  dcfg.num_samples = 250;
+  const ml::Dataset all = datagen::generate_temperature_dataset(dcfg);
+  Rng split_rng(11);
+  auto [train, test] = all.stratified_split(split_rng, 0.8);
+  Rect area{0.0, 0.0, 50.0, 34.0};
+  Rng wsn_rng(12);
+  const auto wsn = WsnTopology::random_uniform(area, 50, wsn_rng);
+  Rng rng(13);
+  ml::Network net = temperature_cnn(rng);
+  microdeep::MicroDeepConfig cfg;
+  cfg.staleness = 0.0;
+  MicroDeepModel model(net, wsn, {1, 17, 25}, cfg);
+  ml::Adam opt(0.005);
+  ml::TrainConfig tcfg;
+  tcfg.epochs = 5;
+  tcfg.batch_size = 32;
+  model.train(train, test, tcfg, opt);
+
+  const double healthy = model.evaluate(test);
+  std::vector<bool> dead(wsn.num_nodes(), false);
+  Rng kill_rng(14);
+  for (std::size_t i = 0; i < 5; ++i) {
+    dead[static_cast<std::size_t>(
+        kill_rng.uniform_int(0, static_cast<std::int64_t>(wsn.num_nodes()) - 1))] =
+        true;
+  }
+  microdeep::CommCostReport after;
+  const double degraded = model.evaluate_with_failures(test, dead, &after);
+  // 10% dead nodes: accuracy dips but the system keeps working and the
+  // migrated assignment still routes (cost report is well-formed).
+  EXPECT_GT(degraded, 0.55);
+  EXPECT_LE(degraded, healthy + 0.05);
+  EXPECT_GT(after.total_messages, 0.0);
+}
+
+TEST(Integration, CoexistenceAndEnergyNumbersCoexist) {
+  // Sanity: the backscatter coexistence simulator and the data pipelines
+  // run in one process without interference (shared RNG misuse, etc.).
+  backscatter::CoexistenceConfig ccfg;
+  ccfg.duration_s = 10.0;
+  ccfg.mode = backscatter::MacMode::Proposed;
+  const auto m = backscatter::CoexistenceSimulator(ccfg).run();
+  EXPECT_GT(m.frames_generated, 0u);
+
+  datagen::TemperatureFieldConfig dcfg;
+  dcfg.num_samples = 10;
+  const auto ds = datagen::generate_temperature_dataset(dcfg);
+  EXPECT_EQ(ds.size(), 10u);
+}
+
+}  // namespace
+}  // namespace zeiot

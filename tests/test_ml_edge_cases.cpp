@@ -1,0 +1,194 @@
+// Edge-case and robustness tests for the ML substrate beyond the happy
+// paths of test_ml_*.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/network.hpp"
+#include "ml/optimizer.hpp"
+#include "ml/trainer.hpp"
+
+namespace zeiot::ml {
+namespace {
+
+TEST(TrainerEdge, BatchLargerThanDataset) {
+  Rng rng(1);
+  Network net;
+  net.emplace<Dense>(2, 2, rng);
+  Sgd opt(0.1);
+  Trainer trainer(net, opt, Rng(2));
+  Dataset train;
+  for (int i = 0; i < 5; ++i) {
+    Tensor x({2}, static_cast<float>(i % 2));
+    train.add(std::move(x), i % 2);
+  }
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.batch_size = 64;  // larger than the 5 samples
+  const auto hist = trainer.fit(train, train, cfg);
+  EXPECT_EQ(hist.epochs.size(), 3u);
+}
+
+TEST(TrainerEdge, SingleSampleDataset) {
+  Rng rng(3);
+  Network net;
+  net.emplace<Dense>(2, 2, rng);
+  Adam opt(0.05);
+  Trainer trainer(net, opt, Rng(4));
+  Dataset train;
+  train.add(Tensor({2}, 1.0f), 1);
+  TrainConfig cfg;
+  cfg.epochs = 200;
+  cfg.batch_size = 1;
+  const auto hist = trainer.fit(train, train, cfg);
+  EXPECT_DOUBLE_EQ(hist.best_val_accuracy, 1.0);  // memorises one sample
+}
+
+TEST(TrainerEdge, EmptyValidationSkipsEvaluation) {
+  Rng rng(5);
+  Network net;
+  net.emplace<Dense>(2, 2, rng);
+  Sgd opt(0.1);
+  Trainer trainer(net, opt, Rng(6));
+  Dataset train;
+  for (int i = 0; i < 8; ++i) train.add(Tensor({2}, 0.5f), i % 2);
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 4;
+  const auto hist = trainer.fit(train, Dataset{}, cfg);
+  for (const auto& e : hist.epochs) EXPECT_DOUBLE_EQ(e.val_accuracy, 0.0);
+}
+
+TEST(TrainerEdge, FitRejectsEmptyTrainingSet) {
+  Rng rng(7);
+  Network net;
+  net.emplace<Dense>(2, 2, rng);
+  Sgd opt(0.1);
+  Trainer trainer(net, opt, Rng(8));
+  TrainConfig cfg;
+  EXPECT_THROW(trainer.fit(Dataset{}, Dataset{}, cfg), Error);
+}
+
+TEST(TrainerEdge, WeightsStayFiniteUnderAggressiveLr) {
+  Rng rng(9);
+  Network net;
+  net.emplace<Dense>(4, 8, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(8, 2, rng);
+  Adam opt(0.5);  // aggressive but Adam-bounded steps
+  Trainer trainer(net, opt, Rng(10));
+  Dataset train;
+  Rng drng(11);
+  for (int i = 0; i < 64; ++i) {
+    Tensor x({4});
+    for (std::size_t j = 0; j < 4; ++j) {
+      x[j] = static_cast<float>(drng.normal(0.0, 1.0));
+    }
+    train.add(std::move(x), i % 2);
+  }
+  TrainConfig cfg;
+  cfg.epochs = 10;
+  cfg.batch_size = 16;
+  trainer.fit(train, {}, cfg);
+  for (Param* p : net.params()) {
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(p->value[i]));
+    }
+  }
+}
+
+TEST(OptimizerEdge, SgdZeroGradLeavesWeights) {
+  Rng rng(12);
+  Network net;
+  net.emplace<Dense>(3, 3, rng);
+  Sgd opt(0.1, 0.9, 0.0);
+  net.zero_grads();
+  const auto params = net.params();
+  std::vector<float> before;
+  for (std::size_t i = 0; i < params[0]->value.size(); ++i) {
+    before.push_back(params[0]->value[i]);
+  }
+  opt.step(params);
+  opt.step(params);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_FLOAT_EQ(params[0]->value[i], before[i]);
+  }
+}
+
+TEST(OptimizerEdge, AdamConvergesOnQuadratic) {
+  // Minimise (w - 3)^2 via gradient = 2(w - 3) fed manually.
+  Param p;
+  p.value = Tensor({1});
+  p.value[0] = -5.0f;
+  p.grad = Tensor({1});
+  Adam opt(0.1);
+  std::vector<Param*> params{&p};
+  for (int it = 0; it < 500; ++it) {
+    p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+    opt.step(params);
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 0.05);
+}
+
+TEST(OptimizerEdge, MomentumAcceleratesDescent) {
+  auto run = [](double momentum) {
+    Param p;
+    p.value = Tensor({1});
+    p.value[0] = 10.0f;
+    p.grad = Tensor({1});
+    Sgd opt(0.01, momentum);
+    std::vector<Param*> params{&p};
+    for (int it = 0; it < 50; ++it) {
+      p.grad[0] = 2.0f * p.value[0];
+      opt.step(params);
+    }
+    return std::abs(p.value[0]);
+  };
+  EXPECT_LT(run(0.9), run(0.0));
+}
+
+TEST(DatasetEdge, BatchOfOne) {
+  Dataset ds;
+  ds.add(Tensor({1, 2, 2}, 3.0f), 1);
+  auto [x, y] = ds.batch({0});
+  EXPECT_EQ(x.shape(), (std::vector<int>{1, 1, 2, 2}));
+  EXPECT_EQ(y, (std::vector<int>{1}));
+}
+
+TEST(DatasetEdge, BatchRejectsOutOfRange) {
+  Dataset ds;
+  ds.add(Tensor({2}), 0);
+  EXPECT_THROW(ds.batch({1}), Error);
+  EXPECT_THROW(ds.batch({}), Error);
+}
+
+TEST(DatasetEdge, NumClassesOnEmpty) {
+  Dataset ds;
+  EXPECT_EQ(ds.num_classes(), 0);
+  EXPECT_TRUE(ds.sample_shape().empty());
+}
+
+TEST(NetworkEdge, BackwardBeforeForwardThrows) {
+  Rng rng(13);
+  Network net;
+  net.emplace<Dense>(2, 2, rng);
+  Tensor g({1, 2}, 1.0f);
+  EXPECT_THROW(net.backward(g), Error);
+}
+
+TEST(NetworkEdge, DifferentBatchSizesSequentially) {
+  Rng rng(14);
+  Network net;
+  net.emplace<Conv2D>(1, 2, 3, 1, rng);
+  net.emplace<ReLU>();
+  net.emplace<Flatten>();
+  net.emplace<Dense>(2 * 4 * 4, 2, rng);
+  for (int n : {1, 4, 2, 8}) {
+    Tensor x({n, 1, 4, 4}, 0.5f);
+    const Tensor y = net.forward(x, false);
+    EXPECT_EQ(y.dim(0), n);
+  }
+}
+
+}  // namespace
+}  // namespace zeiot::ml

@@ -1,0 +1,119 @@
+#include "ml/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace zeiot::ml {
+namespace {
+
+Network make_net(std::uint64_t seed) {
+  Rng rng(seed);
+  Network net;
+  net.emplace<Conv2D>(1, 2, 3, 1, rng);
+  net.emplace<ReLU>();
+  net.emplace<MaxPool2D>(2);
+  net.emplace<Flatten>();
+  net.emplace<Dense>(2 * 3 * 3, 4, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(4, 2, rng);
+  return net;
+}
+
+TEST(Serialize, RoundTripPreservesWeightsExactly) {
+  Network a = make_net(1);
+  std::stringstream buf;
+  save_weights(a, buf);
+  Network b = make_net(999);  // same topology, different init
+  load_weights(b, buf);
+  const auto pa = a.params();
+  const auto pb = b.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i]->value.shape(), pb[i]->value.shape());
+    for (std::size_t j = 0; j < pa[i]->value.size(); ++j) {
+      EXPECT_EQ(pa[i]->value[j], pb[i]->value[j]);  // bit-exact
+    }
+  }
+}
+
+TEST(Serialize, LoadedNetworkPredictsIdentically) {
+  Network a = make_net(2);
+  std::stringstream buf;
+  save_weights(a, buf);
+  Network b = make_net(777);
+  load_weights(b, buf);
+  Rng rng(3);
+  Tensor x({1, 1, 6, 6});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  const Tensor ya = a.forward(x, false);
+  const Tensor yb = b.forward(x, false);
+  for (std::size_t i = 0; i < ya.size(); ++i) {
+    EXPECT_EQ(ya[i], yb[i]);
+  }
+}
+
+TEST(Serialize, RejectsGarbageStream) {
+  Network net = make_net(4);
+  std::stringstream buf;
+  buf << "not a weight file at all";
+  EXPECT_THROW(load_weights(net, buf), Error);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  Network a = make_net(5);
+  std::stringstream buf;
+  save_weights(a, buf);
+  const std::string full = buf.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  Network b = make_net(6);
+  EXPECT_THROW(load_weights(b, truncated), Error);
+}
+
+TEST(Serialize, RejectsTopologyMismatch) {
+  Network a = make_net(7);
+  std::stringstream buf;
+  save_weights(a, buf);
+  Rng rng(8);
+  Network different;
+  different.emplace<Dense>(4, 2, rng);
+  EXPECT_THROW(load_weights(different, buf), Error);
+}
+
+TEST(Serialize, RejectsShapeMismatchSameCount) {
+  Network a = make_net(9);
+  std::stringstream buf;
+  save_weights(a, buf);
+  // Same number of parameter tensors (6) but different shapes.
+  Rng rng(10);
+  Network different;
+  different.emplace<Conv2D>(1, 2, 5, 2, rng);  // 5x5 kernel instead of 3x3
+  different.emplace<ReLU>();
+  different.emplace<MaxPool2D>(2);
+  different.emplace<Flatten>();
+  different.emplace<Dense>(2 * 3 * 3, 4, rng);
+  different.emplace<ReLU>();
+  different.emplace<Dense>(4, 2, rng);
+  EXPECT_THROW(load_weights(different, buf), Error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Network a = make_net(11);
+  const std::string path = "/tmp/zeiot_weights_test.bin";
+  save_weights(a, path);
+  Network b = make_net(12);
+  load_weights(b, path);
+  const auto pa = a.params();
+  const auto pb = b.params();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (std::size_t j = 0; j < pa[i]->value.size(); ++j) {
+      EXPECT_EQ(pa[i]->value[j], pb[i]->value[j]);
+    }
+  }
+  EXPECT_THROW(load_weights(b, std::string("/nonexistent/dir/w.bin")), Error);
+}
+
+}  // namespace
+}  // namespace zeiot::ml

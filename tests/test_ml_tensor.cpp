@@ -1,0 +1,158 @@
+#include "ml/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/dataset.hpp"
+
+namespace zeiot::ml {
+namespace {
+
+TEST(Tensor, ConstructionAndFill) {
+  Tensor t({2, 3}, 1.5f);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.ndim(), 2);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_FLOAT_EQ(t[i], 1.5f);
+}
+
+TEST(Tensor, RejectsBadShapes) {
+  EXPECT_THROW(Tensor(std::vector<int>{}), Error);
+  EXPECT_THROW(Tensor({2, 0}), Error);
+  EXPECT_THROW(Tensor({1, 2, 3, 4, 5}), Error);
+  EXPECT_THROW(Tensor({-1, 3}), Error);
+}
+
+TEST(Tensor, RowMajorIndexing) {
+  Tensor t({2, 3});
+  t.at({0, 0}) = 1.0f;
+  t.at({0, 2}) = 3.0f;
+  t.at({1, 0}) = 4.0f;
+  EXPECT_FLOAT_EQ(t[0], 1.0f);
+  EXPECT_FLOAT_EQ(t[2], 3.0f);
+  EXPECT_FLOAT_EQ(t[3], 4.0f);
+}
+
+TEST(Tensor, FourDimIndexing) {
+  Tensor t({2, 3, 4, 5});
+  t.at({1, 2, 3, 4}) = 9.0f;
+  EXPECT_FLOAT_EQ(t[t.size() - 1], 9.0f);
+  EXPECT_EQ(t.offset({0, 0, 0, 1}), 1u);
+  EXPECT_EQ(t.offset({0, 0, 1, 0}), 5u);
+  EXPECT_EQ(t.offset({0, 1, 0, 0}), 20u);
+  EXPECT_EQ(t.offset({1, 0, 0, 0}), 60u);
+}
+
+TEST(Tensor, BoundsChecked) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.at({2, 0}), Error);
+  EXPECT_THROW(t.at({0, 3}), Error);
+  EXPECT_THROW(t.at({0}), Error);       // wrong arity
+  EXPECT_THROW(t.at({0, 0, 0}), Error); // wrong arity
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3});
+  for (std::size_t i = 0; i < 6; ++i) t[i] = static_cast<float>(i);
+  const Tensor r = t.reshape({3, 2});
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(r[i], static_cast<float>(i));
+  EXPECT_THROW(t.reshape({4, 2}), Error);
+}
+
+TEST(Tensor, AddAndScale) {
+  Tensor a({2, 2}, 1.0f);
+  Tensor b({2, 2}, 2.0f);
+  a.add_(b);
+  EXPECT_FLOAT_EQ(a[0], 3.0f);
+  a.scale_(0.5f);
+  EXPECT_FLOAT_EQ(a[3], 1.5f);
+  Tensor c({2, 3});
+  EXPECT_THROW(a.add_(c), Error);
+}
+
+TEST(Tensor, SumAndArgmax) {
+  Tensor t({4});
+  t[0] = 1.0f;
+  t[1] = -2.0f;
+  t[2] = 5.0f;
+  t[3] = 0.0f;
+  EXPECT_DOUBLE_EQ(t.sum(), 4.0);
+  EXPECT_EQ(t.argmax(), 2u);
+}
+
+TEST(Tensor, HeInitVariance) {
+  Rng rng(1);
+  Tensor t({100, 100});
+  t.he_init(rng, 50);
+  double s2 = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) s2 += t[i] * t[i];
+  EXPECT_NEAR(s2 / static_cast<double>(t.size()), 2.0 / 50.0, 0.005);
+}
+
+TEST(Tensor, ZerosLike) {
+  Tensor t({3, 4}, 7.0f);
+  const Tensor z = Tensor::zeros_like(t);
+  EXPECT_EQ(z.shape(), t.shape());
+  for (std::size_t i = 0; i < z.size(); ++i) EXPECT_FLOAT_EQ(z[i], 0.0f);
+}
+
+TEST(Tensor, ShapeStr) {
+  EXPECT_EQ(Tensor({2, 3}).shape_str(), "(2,3)");
+}
+
+TEST(Dataset, AddAndShapeEnforcement) {
+  Dataset ds;
+  ds.add(Tensor({1, 2, 2}), 0);
+  ds.add(Tensor({1, 2, 2}), 1);
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.num_classes(), 2);
+  EXPECT_THROW(ds.add(Tensor({1, 3, 2}), 0), Error);
+  EXPECT_THROW(ds.add(Tensor({1, 2, 2}), -1), Error);
+}
+
+TEST(Dataset, BatchStacksSamples) {
+  Dataset ds;
+  for (int i = 0; i < 4; ++i) {
+    Tensor t({1, 2, 2}, static_cast<float>(i));
+    ds.add(std::move(t), i % 2);
+  }
+  auto [xb, yb] = ds.batch({1, 3});
+  EXPECT_EQ(xb.shape(), (std::vector<int>{2, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(xb[0], 1.0f);
+  EXPECT_FLOAT_EQ(xb[4], 3.0f);
+  EXPECT_EQ(yb, (std::vector<int>{1, 1}));
+}
+
+TEST(Dataset, SplitSizesAndNoLoss) {
+  Dataset ds;
+  for (int i = 0; i < 100; ++i) ds.add(Tensor({2}), i % 3);
+  Rng rng(5);
+  auto [train, test] = ds.split(rng, 0.8);
+  EXPECT_EQ(train.size(), 80u);
+  EXPECT_EQ(test.size(), 20u);
+}
+
+TEST(Dataset, StratifiedSplitPreservesClasses) {
+  Dataset ds;
+  for (int i = 0; i < 90; ++i) ds.add(Tensor({2}), 0);
+  for (int i = 0; i < 10; ++i) ds.add(Tensor({2}), 1);
+  Rng rng(7);
+  auto [train, test] = ds.stratified_split(rng, 0.7);
+  int train1 = 0, test1 = 0;
+  for (std::size_t i = 0; i < train.size(); ++i) train1 += train.label(i) == 1;
+  for (std::size_t i = 0; i < test.size(); ++i) test1 += test.label(i) == 1;
+  EXPECT_EQ(train1, 7);
+  EXPECT_EQ(test1, 3);
+}
+
+TEST(Dataset, SplitRejectsDegenerate) {
+  Dataset ds;
+  ds.add(Tensor({1}), 0);
+  Rng rng(1);
+  EXPECT_THROW(ds.split(rng, 0.5), Error);
+  ds.add(Tensor({1}), 1);
+  EXPECT_THROW(ds.split(rng, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace zeiot::ml

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/network.hpp"
+#include "ml/optimizer.hpp"
+#include "ml/trainer.hpp"
+
+namespace zeiot::ml {
+namespace {
+
+/// Two-class ring dataset: class 1 inside the radius, class 0 outside —
+/// not linearly separable, so the hidden layer must do real work.
+Dataset make_ring_dataset(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds;
+  for (std::size_t i = 0; i < n; ++i) {
+    Tensor x({2});
+    x[0] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    x[1] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const int label = (x[0] * x[0] + x[1] * x[1] < 0.5) ? 1 : 0;
+    ds.add(std::move(x), label);
+  }
+  return ds;
+}
+
+/// Tiny spatial dataset: the class is whether a bright blob sits in the
+/// left or right half of a 1x6x6 image — exercises conv + pool.
+Dataset make_blob_dataset(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds;
+  for (std::size_t i = 0; i < n; ++i) {
+    Tensor x({1, 6, 6});
+    const int label = rng.bernoulli(0.5) ? 1 : 0;
+    const int cx = label == 0 ? static_cast<int>(rng.uniform_int(0, 2))
+                              : static_cast<int>(rng.uniform_int(3, 5));
+    const int cy = static_cast<int>(rng.uniform_int(1, 4));
+    for (int y = 0; y < 6; ++y) {
+      for (int xx = 0; xx < 6; ++xx) {
+        const double d2 = (y - cy) * (y - cy) + (xx - cx) * (xx - cx);
+        x.at({0, y, xx}) = static_cast<float>(std::exp(-d2 / 2.0) +
+                                              rng.normal(0.0, 0.05));
+      }
+    }
+    ds.add(std::move(x), label);
+  }
+  return ds;
+}
+
+Network make_mlp(Rng& rng) {
+  Network net;
+  net.emplace<Dense>(2, 16, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(16, 2, rng);
+  return net;
+}
+
+TEST(Network, ForwardShapes) {
+  Rng rng(1);
+  Network net = make_mlp(rng);
+  Tensor x({4, 2}, 0.5f);
+  const Tensor y = net.forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<int>{4, 2}));
+}
+
+TEST(Network, ShapeTrace) {
+  Rng rng(1);
+  Network net;
+  net.emplace<Conv2D>(1, 4, 3, 1, rng);
+  net.emplace<ReLU>();
+  net.emplace<MaxPool2D>(2);
+  net.emplace<Flatten>();
+  net.emplace<Dense>(4 * 3 * 3, 2, rng);
+  const auto trace = net.shape_trace({1, 6, 6});
+  ASSERT_EQ(trace.size(), 6u);
+  EXPECT_EQ(trace[0], (std::vector<int>{1, 6, 6}));
+  EXPECT_EQ(trace[1], (std::vector<int>{4, 6, 6}));
+  EXPECT_EQ(trace[3], (std::vector<int>{4, 3, 3}));
+  EXPECT_EQ(trace[5], (std::vector<int>{2}));
+}
+
+TEST(Network, ParamCounting) {
+  Rng rng(1);
+  Network net = make_mlp(rng);
+  // Dense(2,16): 32+16; Dense(16,2): 32+2.
+  EXPECT_EQ(net.num_parameters(), 32u + 16u + 32u + 2u);
+  EXPECT_EQ(net.params().size(), 4u);
+}
+
+TEST(Network, ZeroGradsClears) {
+  Rng rng(1);
+  Network net = make_mlp(rng);
+  Tensor x({2, 2}, 1.0f);
+  Tensor y = net.forward(x, true);
+  const auto lr = softmax_cross_entropy(y, {0, 1});
+  net.backward(lr.grad);
+  bool any_nonzero = false;
+  for (Param* p : net.params()) {
+    for (std::size_t i = 0; i < p->grad.size(); ++i) {
+      if (p->grad[i] != 0.0f) any_nonzero = true;
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+  net.zero_grads();
+  for (Param* p : net.params()) {
+    for (std::size_t i = 0; i < p->grad.size(); ++i) {
+      EXPECT_FLOAT_EQ(p->grad[i], 0.0f);
+    }
+  }
+}
+
+TEST(Network, EmptyNetworkThrows) {
+  Network net;
+  Tensor x({1, 2});
+  EXPECT_THROW(net.forward(x, false), Error);
+}
+
+TEST(Trainer, LearnsRingWithSgd) {
+  Rng rng(42);
+  Network net = make_mlp(rng);
+  Sgd opt(0.1, 0.9);
+  Trainer trainer(net, opt, Rng(43));
+  const Dataset all = make_ring_dataset(600, 44);
+  Rng split_rng(45);
+  auto [train, test] = all.split(split_rng, 0.8);
+  TrainConfig cfg;
+  cfg.epochs = 60;
+  cfg.batch_size = 32;
+  const auto hist = trainer.fit(train, test, cfg);
+  EXPECT_GT(hist.best_val_accuracy, 0.92);
+  EXPECT_EQ(hist.epochs.size(), 60u);
+}
+
+TEST(Trainer, LearnsRingWithAdam) {
+  Rng rng(50);
+  Network net = make_mlp(rng);
+  Adam opt(0.01);
+  Trainer trainer(net, opt, Rng(51));
+  const Dataset all = make_ring_dataset(600, 52);
+  Rng split_rng(53);
+  auto [train, test] = all.split(split_rng, 0.8);
+  TrainConfig cfg;
+  cfg.epochs = 40;
+  cfg.batch_size = 32;
+  const auto hist = trainer.fit(train, test, cfg);
+  EXPECT_GT(hist.best_val_accuracy, 0.92);
+}
+
+TEST(Trainer, CnnLearnsBlobPosition) {
+  Rng rng(60);
+  Network net;
+  net.emplace<Conv2D>(1, 4, 3, 1, rng);
+  net.emplace<ReLU>();
+  net.emplace<MaxPool2D>(2);
+  net.emplace<Flatten>();
+  net.emplace<Dense>(4 * 3 * 3, 2, rng);
+  Adam opt(0.01);
+  Trainer trainer(net, opt, Rng(61));
+  const Dataset all = make_blob_dataset(400, 62);
+  Rng split_rng(63);
+  auto [train, test] = all.split(split_rng, 0.8);
+  TrainConfig cfg;
+  cfg.epochs = 15;
+  cfg.batch_size = 16;
+  const auto hist = trainer.fit(train, test, cfg);
+  EXPECT_GT(hist.best_val_accuracy, 0.95);
+}
+
+TEST(Trainer, LossDecreasesOverTraining) {
+  Rng rng(70);
+  Network net = make_mlp(rng);
+  Sgd opt(0.05);
+  Trainer trainer(net, opt, Rng(71));
+  const Dataset train = make_ring_dataset(400, 72);
+  TrainConfig cfg;
+  cfg.epochs = 30;
+  cfg.batch_size = 32;
+  const auto hist = trainer.fit(train, {}, cfg);
+  EXPECT_LT(hist.epochs.back().train_loss, hist.epochs.front().train_loss);
+}
+
+TEST(Trainer, EarlyStoppingHonorsPatience) {
+  Rng rng(80);
+  Network net = make_mlp(rng);
+  Sgd opt(0.1);
+  Trainer trainer(net, opt, Rng(81));
+  const Dataset all = make_ring_dataset(200, 82);
+  Rng split_rng(83);
+  auto [train, test] = all.split(split_rng, 0.8);
+  TrainConfig cfg;
+  cfg.epochs = 200;
+  cfg.batch_size = 32;
+  cfg.patience = 5;
+  const auto hist = trainer.fit(train, test, cfg);
+  EXPECT_LT(hist.epochs.size(), 200u);
+}
+
+TEST(Trainer, GradHookIsInvoked) {
+  Rng rng(90);
+  Network net = make_mlp(rng);
+  Sgd opt(0.05);
+  Trainer trainer(net, opt, Rng(91));
+  int hook_calls = 0;
+  trainer.set_grad_hook([&](std::vector<Param*>& params) {
+    ++hook_calls;
+    EXPECT_EQ(params.size(), 4u);
+  });
+  const Dataset train = make_ring_dataset(64, 92);
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 32;
+  trainer.fit(train, {}, cfg);
+  EXPECT_EQ(hook_calls, 4);  // 2 batches x 2 epochs
+}
+
+TEST(Trainer, PredictSingleSample) {
+  Rng rng(95);
+  Network net = make_mlp(rng);
+  Adam opt(0.02);
+  Trainer trainer(net, opt, Rng(96));
+  const Dataset train = make_ring_dataset(400, 97);
+  TrainConfig cfg;
+  cfg.epochs = 30;
+  cfg.batch_size = 32;
+  trainer.fit(train, {}, cfg);
+  Tensor center({2});
+  center[0] = 0.0f;
+  center[1] = 0.0f;
+  Tensor corner({2});
+  corner[0] = 0.95f;
+  corner[1] = 0.95f;
+  EXPECT_EQ(trainer.predict(center), 1);
+  EXPECT_EQ(trainer.predict(corner), 0);
+}
+
+TEST(Trainer, ConfusionMatrixTotalsMatch) {
+  Rng rng(98);
+  Network net = make_mlp(rng);
+  Sgd opt(0.1);
+  Trainer trainer(net, opt, Rng(99));
+  const Dataset data = make_ring_dataset(100, 100);
+  const auto cm = trainer.confusion(data, 2);
+  EXPECT_EQ(cm.total(), 100u);
+}
+
+TEST(Sgd, RejectsBadHyperparams) {
+  EXPECT_THROW(Sgd(0.0), Error);
+  EXPECT_THROW(Sgd(0.1, 1.0), Error);
+  EXPECT_THROW(Sgd(0.1, 0.5, -1.0), Error);
+}
+
+TEST(Adam, RejectsBadHyperparams) {
+  EXPECT_THROW(Adam(0.0), Error);
+  EXPECT_THROW(Adam(0.01, 1.0), Error);
+  EXPECT_THROW(Adam(0.01, 0.9, 0.999, 0.0), Error);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Rng rng(101);
+  Network net = make_mlp(rng);
+  // Pure decay: zero gradients, positive weight decay.
+  Sgd opt(0.1, 0.0, 0.5);
+  net.zero_grads();
+  const auto params = net.params();
+  const float before = params[0]->value[0];
+  opt.step(params);
+  EXPECT_LT(std::abs(params[0]->value[0]), std::abs(before) + 1e-9);
+}
+
+}  // namespace
+}  // namespace zeiot::ml

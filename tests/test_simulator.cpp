@@ -1,0 +1,185 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace zeiot::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, FifoTieBreak) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ClockAdvancesDuringEvents) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule(2.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] {
+    ++fired;
+    sim.schedule(1.0, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Simulator, RejectsNegativeDelay) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(-1.0, [] {}), Error);
+}
+
+TEST(Simulator, ScheduleAtRejectsPast) {
+  Simulator sim;
+  sim.schedule(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(4.0, [] {}), Error);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const auto h = sim.schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(h));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelTwiceReturnsFalse) {
+  Simulator sim;
+  const auto h = sim.schedule(1.0, [] {});
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(Simulator, CancelAfterRunReturnsFalse) {
+  Simulator sim;
+  const auto h = sim.schedule(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(Simulator, CancelNullHandleReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(EventHandle{}));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  std::vector<double> times;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule(t, [&times, &sim] { times.push_back(sim.now()); });
+  }
+  const auto n = sim.run_until(2.5);
+  EXPECT_EQ(n, 2u);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.run();
+  EXPECT_EQ(times.size(), 4u);
+}
+
+TEST(Simulator, RunUntilInclusiveOfBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(2.0, [&] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, RunWithLimit) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule(1.0 + i, [&] { ++fired; });
+  EXPECT_EQ(sim.run(3), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.pending(), 7u);
+}
+
+TEST(Simulator, PendingTracksCancellation) {
+  Simulator sim;
+  const auto h = sim.schedule(1.0, [] {});
+  sim.schedule(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(h);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(PeriodicTimer, FiresRepeatedly) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTimer timer(sim, 1.0, [&] { ++count; });
+  timer.start();
+  sim.run_until(5.5);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(PeriodicTimer, StopHalts) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTimer timer(sim, 1.0, [&] { ++count; });
+  timer.start();
+  sim.schedule(3.5, [&] { timer.stop(); });
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimer, RestartWorks) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTimer timer(sim, 1.0, [&] { ++count; });
+  timer.start();
+  sim.schedule(2.5, [&] { timer.stop(); });
+  sim.schedule(5.0, [&] { timer.start(); });
+  sim.run_until(7.5);
+  EXPECT_EQ(count, 4);  // fires at 1, 2, 6, 7
+}
+
+TEST(PeriodicTimer, RejectsNonPositivePeriod) {
+  Simulator sim;
+  EXPECT_THROW(PeriodicTimer(sim, 0.0, [] {}), Error);
+}
+
+TEST(PeriodicTimer, CanStopInsideCallback) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTimer timer(sim, 1.0, [&] {
+    if (++count == 3) timer.stop();
+  });
+  timer.start();
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 3);
+}
+
+}  // namespace
+}  // namespace zeiot::sim

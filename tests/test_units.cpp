@@ -1,0 +1,53 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zeiot {
+namespace {
+
+TEST(Units, DbmToWattKnownValues) {
+  EXPECT_NEAR(dbm_to_watt(0.0), 1e-3, 1e-12);
+  EXPECT_NEAR(dbm_to_watt(30.0), 1.0, 1e-9);
+  EXPECT_NEAR(dbm_to_watt(-30.0), 1e-6, 1e-12);
+}
+
+TEST(Units, WattToDbmKnownValues) {
+  EXPECT_NEAR(watt_to_dbm(1e-3), 0.0, 1e-9);
+  EXPECT_NEAR(watt_to_dbm(1.0), 30.0, 1e-9);
+}
+
+TEST(Units, DbmWattRoundtrip) {
+  for (double dbm = -120.0; dbm <= 40.0; dbm += 7.3) {
+    EXPECT_NEAR(watt_to_dbm(dbm_to_watt(dbm)), dbm, 1e-9);
+  }
+}
+
+TEST(Units, RatioDbRoundtrip) {
+  for (double db = -60.0; db <= 60.0; db += 9.7) {
+    EXPECT_NEAR(ratio_to_db(db_to_ratio(db)), db, 1e-9);
+  }
+}
+
+TEST(Units, ThreeDbDoubles) {
+  EXPECT_NEAR(db_to_ratio(3.0103), 2.0, 1e-3);
+}
+
+TEST(Units, MwUw) {
+  EXPECT_DOUBLE_EQ(mw(1.0), 1e-3);
+  EXPECT_DOUBLE_EQ(uw(10.0), 1e-5);
+}
+
+TEST(Units, ThermalNoiseReferenceValue) {
+  // kTB at 290 K over 1 Hz is -174 dBm.
+  EXPECT_NEAR(watt_to_dbm(thermal_noise_watt(1.0)), -174.0, 0.1);
+  // 2 MHz bandwidth: -174 + 10log10(2e6) ~= -111 dBm.
+  EXPECT_NEAR(watt_to_dbm(thermal_noise_watt(2e6)), -111.0, 0.2);
+}
+
+TEST(Units, Wavelength) {
+  EXPECT_NEAR(wavelength_m(2.4e9), 0.125, 0.001);
+  EXPECT_NEAR(wavelength_m(5.2e9), 0.0577, 0.0005);
+}
+
+}  // namespace
+}  // namespace zeiot
