@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_node_failure.dir/bench_a2_node_failure.cpp.o"
+  "CMakeFiles/bench_a2_node_failure.dir/bench_a2_node_failure.cpp.o.d"
+  "bench_a2_node_failure"
+  "bench_a2_node_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_node_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_csma_contention.dir/bench_a4_csma_contention.cpp.o"
+  "CMakeFiles/bench_a4_csma_contention.dir/bench_a4_csma_contention.cpp.o.d"
+  "bench_a4_csma_contention"
+  "bench_a4_csma_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_csma_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

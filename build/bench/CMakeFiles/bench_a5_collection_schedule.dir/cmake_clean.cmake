@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_collection_schedule.dir/bench_a5_collection_schedule.cpp.o"
+  "CMakeFiles/bench_a5_collection_schedule.dir/bench_a5_collection_schedule.cpp.o.d"
+  "bench_a5_collection_schedule"
+  "bench_a5_collection_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_collection_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_a5_collection_schedule.
+# This may be replaced when dependencies are built.

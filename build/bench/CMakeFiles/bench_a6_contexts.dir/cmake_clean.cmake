@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_contexts.dir/bench_a6_contexts.cpp.o"
+  "CMakeFiles/bench_a6_contexts.dir/bench_a6_contexts.cpp.o.d"
+  "bench_a6_contexts"
+  "bench_a6_contexts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_contexts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

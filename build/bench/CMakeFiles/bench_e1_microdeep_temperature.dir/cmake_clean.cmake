@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_microdeep_temperature.dir/bench_e1_microdeep_temperature.cpp.o"
+  "CMakeFiles/bench_e1_microdeep_temperature.dir/bench_e1_microdeep_temperature.cpp.o.d"
+  "bench_e1_microdeep_temperature"
+  "bench_e1_microdeep_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_microdeep_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_fall_commcost.dir/bench_e2_fall_commcost.cpp.o"
+  "CMakeFiles/bench_e2_fall_commcost.dir/bench_e2_fall_commcost.cpp.o.d"
+  "bench_e2_fall_commcost"
+  "bench_e2_fall_commcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_fall_commcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e3_train_congestion.cpp" "bench/CMakeFiles/bench_e3_train_congestion.dir/bench_e3_train_congestion.cpp.o" "gcc" "bench/CMakeFiles/bench_e3_train_congestion.dir/bench_e3_train_congestion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sensing/rssi/CMakeFiles/zeiot_sensing_rssi.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/zeiot_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/zeiot_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zeiot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zeiot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

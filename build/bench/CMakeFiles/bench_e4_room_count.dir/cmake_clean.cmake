@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_room_count.dir/bench_e4_room_count.cpp.o"
+  "CMakeFiles/bench_e4_room_count.dir/bench_e4_room_count.cpp.o.d"
+  "bench_e4_room_count"
+  "bench_e4_room_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_room_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e4_room_count.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_csi_localization.dir/bench_e5_csi_localization.cpp.o"
+  "CMakeFiles/bench_e5_csi_localization.dir/bench_e5_csi_localization.cpp.o.d"
+  "bench_e5_csi_localization"
+  "bench_e5_csi_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_csi_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e5_csi_localization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_backscatter_mac.dir/bench_e6_backscatter_mac.cpp.o"
+  "CMakeFiles/bench_e6_backscatter_mac.dir/bench_e6_backscatter_mac.cpp.o.d"
+  "bench_e6_backscatter_mac"
+  "bench_e6_backscatter_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_backscatter_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backscatter_home.dir/backscatter_home.cpp.o"
+  "CMakeFiles/backscatter_home.dir/backscatter_home.cpp.o.d"
+  "backscatter_home"
+  "backscatter_home.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backscatter_home.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

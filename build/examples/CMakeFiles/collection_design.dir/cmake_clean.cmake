@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collection_design.dir/collection_design.cpp.o"
+  "CMakeFiles/collection_design.dir/collection_design.cpp.o.d"
+  "collection_design"
+  "collection_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collection_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_localization.dir/csi_localization.cpp.o"
+  "CMakeFiles/csi_localization.dir/csi_localization.cpp.o.d"
+  "csi_localization"
+  "csi_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

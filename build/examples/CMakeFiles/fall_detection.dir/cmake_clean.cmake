@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fall_detection.dir/fall_detection.cpp.o"
+  "CMakeFiles/fall_detection.dir/fall_detection.cpp.o.d"
+  "fall_detection"
+  "fall_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fall_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

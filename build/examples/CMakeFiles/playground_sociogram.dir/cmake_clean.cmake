@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/playground_sociogram.dir/playground_sociogram.cpp.o"
+  "CMakeFiles/playground_sociogram.dir/playground_sociogram.cpp.o.d"
+  "playground_sociogram"
+  "playground_sociogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/playground_sociogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

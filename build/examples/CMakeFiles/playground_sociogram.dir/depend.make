@@ -1,0 +1,2 @@
+# Empty dependencies file for playground_sociogram.
+# This may be replaced when dependencies are built.

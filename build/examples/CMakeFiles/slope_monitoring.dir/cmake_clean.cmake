@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slope_monitoring.dir/slope_monitoring.cpp.o"
+  "CMakeFiles/slope_monitoring.dir/slope_monitoring.cpp.o.d"
+  "slope_monitoring"
+  "slope_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slope_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

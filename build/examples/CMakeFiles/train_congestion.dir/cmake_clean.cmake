@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_congestion.dir/train_congestion.cpp.o"
+  "CMakeFiles/train_congestion.dir/train_congestion.cpp.o.d"
+  "train_congestion"
+  "train_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeiot_backscatter.dir/bmac.cpp.o"
+  "CMakeFiles/zeiot_backscatter.dir/bmac.cpp.o.d"
+  "CMakeFiles/zeiot_backscatter.dir/coexistence.cpp.o"
+  "CMakeFiles/zeiot_backscatter.dir/coexistence.cpp.o.d"
+  "libzeiot_backscatter.a"
+  "libzeiot_backscatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeiot_backscatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for zeiot_backscatter.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for zeiot_backscatter.
+# This may be replaced when dependencies are built.

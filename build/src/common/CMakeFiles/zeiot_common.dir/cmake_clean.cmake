@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeiot_common.dir/confusion.cpp.o"
+  "CMakeFiles/zeiot_common.dir/confusion.cpp.o.d"
+  "CMakeFiles/zeiot_common.dir/rng.cpp.o"
+  "CMakeFiles/zeiot_common.dir/rng.cpp.o.d"
+  "CMakeFiles/zeiot_common.dir/stats.cpp.o"
+  "CMakeFiles/zeiot_common.dir/stats.cpp.o.d"
+  "CMakeFiles/zeiot_common.dir/table.cpp.o"
+  "CMakeFiles/zeiot_common.dir/table.cpp.o.d"
+  "libzeiot_common.a"
+  "libzeiot_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeiot_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

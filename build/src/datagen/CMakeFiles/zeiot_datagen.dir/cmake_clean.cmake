@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeiot_datagen.dir/ir_gait.cpp.o"
+  "CMakeFiles/zeiot_datagen.dir/ir_gait.cpp.o.d"
+  "CMakeFiles/zeiot_datagen.dir/temperature_field.cpp.o"
+  "CMakeFiles/zeiot_datagen.dir/temperature_field.cpp.o.d"
+  "libzeiot_datagen.a"
+  "libzeiot_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeiot_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/device.cpp" "src/energy/CMakeFiles/zeiot_energy.dir/device.cpp.o" "gcc" "src/energy/CMakeFiles/zeiot_energy.dir/device.cpp.o.d"
+  "/root/repo/src/energy/harvester.cpp" "src/energy/CMakeFiles/zeiot_energy.dir/harvester.cpp.o" "gcc" "src/energy/CMakeFiles/zeiot_energy.dir/harvester.cpp.o.d"
+  "/root/repo/src/energy/intermittent_task.cpp" "src/energy/CMakeFiles/zeiot_energy.dir/intermittent_task.cpp.o" "gcc" "src/energy/CMakeFiles/zeiot_energy.dir/intermittent_task.cpp.o.d"
+  "/root/repo/src/energy/storage.cpp" "src/energy/CMakeFiles/zeiot_energy.dir/storage.cpp.o" "gcc" "src/energy/CMakeFiles/zeiot_energy.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zeiot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/zeiot_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

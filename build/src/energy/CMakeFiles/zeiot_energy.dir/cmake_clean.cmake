@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeiot_energy.dir/device.cpp.o"
+  "CMakeFiles/zeiot_energy.dir/device.cpp.o.d"
+  "CMakeFiles/zeiot_energy.dir/harvester.cpp.o"
+  "CMakeFiles/zeiot_energy.dir/harvester.cpp.o.d"
+  "CMakeFiles/zeiot_energy.dir/intermittent_task.cpp.o"
+  "CMakeFiles/zeiot_energy.dir/intermittent_task.cpp.o.d"
+  "CMakeFiles/zeiot_energy.dir/storage.cpp.o"
+  "CMakeFiles/zeiot_energy.dir/storage.cpp.o.d"
+  "libzeiot_energy.a"
+  "libzeiot_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeiot_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeiot_mac.dir/channel.cpp.o"
+  "CMakeFiles/zeiot_mac.dir/channel.cpp.o.d"
+  "CMakeFiles/zeiot_mac.dir/collection.cpp.o"
+  "CMakeFiles/zeiot_mac.dir/collection.cpp.o.d"
+  "CMakeFiles/zeiot_mac.dir/csma.cpp.o"
+  "CMakeFiles/zeiot_mac.dir/csma.cpp.o.d"
+  "CMakeFiles/zeiot_mac.dir/traffic.cpp.o"
+  "CMakeFiles/zeiot_mac.dir/traffic.cpp.o.d"
+  "libzeiot_mac.a"
+  "libzeiot_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeiot_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/microdeep/assignment.cpp" "src/microdeep/CMakeFiles/zeiot_microdeep.dir/assignment.cpp.o" "gcc" "src/microdeep/CMakeFiles/zeiot_microdeep.dir/assignment.cpp.o.d"
+  "/root/repo/src/microdeep/comm_cost.cpp" "src/microdeep/CMakeFiles/zeiot_microdeep.dir/comm_cost.cpp.o" "gcc" "src/microdeep/CMakeFiles/zeiot_microdeep.dir/comm_cost.cpp.o.d"
+  "/root/repo/src/microdeep/distributed.cpp" "src/microdeep/CMakeFiles/zeiot_microdeep.dir/distributed.cpp.o" "gcc" "src/microdeep/CMakeFiles/zeiot_microdeep.dir/distributed.cpp.o.d"
+  "/root/repo/src/microdeep/executor.cpp" "src/microdeep/CMakeFiles/zeiot_microdeep.dir/executor.cpp.o" "gcc" "src/microdeep/CMakeFiles/zeiot_microdeep.dir/executor.cpp.o.d"
+  "/root/repo/src/microdeep/unit_graph.cpp" "src/microdeep/CMakeFiles/zeiot_microdeep.dir/unit_graph.cpp.o" "gcc" "src/microdeep/CMakeFiles/zeiot_microdeep.dir/unit_graph.cpp.o.d"
+  "/root/repo/src/microdeep/wsn.cpp" "src/microdeep/CMakeFiles/zeiot_microdeep.dir/wsn.cpp.o" "gcc" "src/microdeep/CMakeFiles/zeiot_microdeep.dir/wsn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zeiot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/zeiot_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeiot_microdeep.dir/assignment.cpp.o"
+  "CMakeFiles/zeiot_microdeep.dir/assignment.cpp.o.d"
+  "CMakeFiles/zeiot_microdeep.dir/comm_cost.cpp.o"
+  "CMakeFiles/zeiot_microdeep.dir/comm_cost.cpp.o.d"
+  "CMakeFiles/zeiot_microdeep.dir/distributed.cpp.o"
+  "CMakeFiles/zeiot_microdeep.dir/distributed.cpp.o.d"
+  "CMakeFiles/zeiot_microdeep.dir/executor.cpp.o"
+  "CMakeFiles/zeiot_microdeep.dir/executor.cpp.o.d"
+  "CMakeFiles/zeiot_microdeep.dir/unit_graph.cpp.o"
+  "CMakeFiles/zeiot_microdeep.dir/unit_graph.cpp.o.d"
+  "CMakeFiles/zeiot_microdeep.dir/wsn.cpp.o"
+  "CMakeFiles/zeiot_microdeep.dir/wsn.cpp.o.d"
+  "libzeiot_microdeep.a"
+  "libzeiot_microdeep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeiot_microdeep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzeiot_microdeep.a"
+)

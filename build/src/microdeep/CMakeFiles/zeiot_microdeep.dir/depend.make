@@ -1,0 +1,2 @@
+# Empty dependencies file for zeiot_microdeep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/zeiot_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/zeiot_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/gaussian_nb.cpp" "src/ml/CMakeFiles/zeiot_ml.dir/gaussian_nb.cpp.o" "gcc" "src/ml/CMakeFiles/zeiot_ml.dir/gaussian_nb.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/zeiot_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/zeiot_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/layers.cpp" "src/ml/CMakeFiles/zeiot_ml.dir/layers.cpp.o" "gcc" "src/ml/CMakeFiles/zeiot_ml.dir/layers.cpp.o.d"
+  "/root/repo/src/ml/logistic.cpp" "src/ml/CMakeFiles/zeiot_ml.dir/logistic.cpp.o" "gcc" "src/ml/CMakeFiles/zeiot_ml.dir/logistic.cpp.o.d"
+  "/root/repo/src/ml/loss.cpp" "src/ml/CMakeFiles/zeiot_ml.dir/loss.cpp.o" "gcc" "src/ml/CMakeFiles/zeiot_ml.dir/loss.cpp.o.d"
+  "/root/repo/src/ml/network.cpp" "src/ml/CMakeFiles/zeiot_ml.dir/network.cpp.o" "gcc" "src/ml/CMakeFiles/zeiot_ml.dir/network.cpp.o.d"
+  "/root/repo/src/ml/optimizer.cpp" "src/ml/CMakeFiles/zeiot_ml.dir/optimizer.cpp.o" "gcc" "src/ml/CMakeFiles/zeiot_ml.dir/optimizer.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/ml/CMakeFiles/zeiot_ml.dir/serialize.cpp.o" "gcc" "src/ml/CMakeFiles/zeiot_ml.dir/serialize.cpp.o.d"
+  "/root/repo/src/ml/standardize.cpp" "src/ml/CMakeFiles/zeiot_ml.dir/standardize.cpp.o" "gcc" "src/ml/CMakeFiles/zeiot_ml.dir/standardize.cpp.o.d"
+  "/root/repo/src/ml/tensor.cpp" "src/ml/CMakeFiles/zeiot_ml.dir/tensor.cpp.o" "gcc" "src/ml/CMakeFiles/zeiot_ml.dir/tensor.cpp.o.d"
+  "/root/repo/src/ml/trainer.cpp" "src/ml/CMakeFiles/zeiot_ml.dir/trainer.cpp.o" "gcc" "src/ml/CMakeFiles/zeiot_ml.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zeiot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeiot_ml.dir/dataset.cpp.o"
+  "CMakeFiles/zeiot_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/zeiot_ml.dir/gaussian_nb.cpp.o"
+  "CMakeFiles/zeiot_ml.dir/gaussian_nb.cpp.o.d"
+  "CMakeFiles/zeiot_ml.dir/knn.cpp.o"
+  "CMakeFiles/zeiot_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/zeiot_ml.dir/layers.cpp.o"
+  "CMakeFiles/zeiot_ml.dir/layers.cpp.o.d"
+  "CMakeFiles/zeiot_ml.dir/logistic.cpp.o"
+  "CMakeFiles/zeiot_ml.dir/logistic.cpp.o.d"
+  "CMakeFiles/zeiot_ml.dir/loss.cpp.o"
+  "CMakeFiles/zeiot_ml.dir/loss.cpp.o.d"
+  "CMakeFiles/zeiot_ml.dir/network.cpp.o"
+  "CMakeFiles/zeiot_ml.dir/network.cpp.o.d"
+  "CMakeFiles/zeiot_ml.dir/optimizer.cpp.o"
+  "CMakeFiles/zeiot_ml.dir/optimizer.cpp.o.d"
+  "CMakeFiles/zeiot_ml.dir/serialize.cpp.o"
+  "CMakeFiles/zeiot_ml.dir/serialize.cpp.o.d"
+  "CMakeFiles/zeiot_ml.dir/standardize.cpp.o"
+  "CMakeFiles/zeiot_ml.dir/standardize.cpp.o.d"
+  "CMakeFiles/zeiot_ml.dir/tensor.cpp.o"
+  "CMakeFiles/zeiot_ml.dir/tensor.cpp.o.d"
+  "CMakeFiles/zeiot_ml.dir/trainer.cpp.o"
+  "CMakeFiles/zeiot_ml.dir/trainer.cpp.o.d"
+  "libzeiot_ml.a"
+  "libzeiot_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeiot_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

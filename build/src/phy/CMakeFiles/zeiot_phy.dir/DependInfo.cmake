@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/airtime.cpp" "src/phy/CMakeFiles/zeiot_phy.dir/airtime.cpp.o" "gcc" "src/phy/CMakeFiles/zeiot_phy.dir/airtime.cpp.o.d"
+  "/root/repo/src/phy/beamforming.cpp" "src/phy/CMakeFiles/zeiot_phy.dir/beamforming.cpp.o" "gcc" "src/phy/CMakeFiles/zeiot_phy.dir/beamforming.cpp.o.d"
+  "/root/repo/src/phy/csi_channel.cpp" "src/phy/CMakeFiles/zeiot_phy.dir/csi_channel.cpp.o" "gcc" "src/phy/CMakeFiles/zeiot_phy.dir/csi_channel.cpp.o.d"
+  "/root/repo/src/phy/full_duplex.cpp" "src/phy/CMakeFiles/zeiot_phy.dir/full_duplex.cpp.o" "gcc" "src/phy/CMakeFiles/zeiot_phy.dir/full_duplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zeiot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/zeiot_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeiot_phy.dir/airtime.cpp.o"
+  "CMakeFiles/zeiot_phy.dir/airtime.cpp.o.d"
+  "CMakeFiles/zeiot_phy.dir/beamforming.cpp.o"
+  "CMakeFiles/zeiot_phy.dir/beamforming.cpp.o.d"
+  "CMakeFiles/zeiot_phy.dir/csi_channel.cpp.o"
+  "CMakeFiles/zeiot_phy.dir/csi_channel.cpp.o.d"
+  "CMakeFiles/zeiot_phy.dir/full_duplex.cpp.o"
+  "CMakeFiles/zeiot_phy.dir/full_duplex.cpp.o.d"
+  "libzeiot_phy.a"
+  "libzeiot_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeiot_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

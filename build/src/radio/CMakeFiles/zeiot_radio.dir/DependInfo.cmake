@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/ber.cpp" "src/radio/CMakeFiles/zeiot_radio.dir/ber.cpp.o" "gcc" "src/radio/CMakeFiles/zeiot_radio.dir/ber.cpp.o.d"
+  "/root/repo/src/radio/coverage.cpp" "src/radio/CMakeFiles/zeiot_radio.dir/coverage.cpp.o" "gcc" "src/radio/CMakeFiles/zeiot_radio.dir/coverage.cpp.o.d"
+  "/root/repo/src/radio/fading.cpp" "src/radio/CMakeFiles/zeiot_radio.dir/fading.cpp.o" "gcc" "src/radio/CMakeFiles/zeiot_radio.dir/fading.cpp.o.d"
+  "/root/repo/src/radio/link.cpp" "src/radio/CMakeFiles/zeiot_radio.dir/link.cpp.o" "gcc" "src/radio/CMakeFiles/zeiot_radio.dir/link.cpp.o.d"
+  "/root/repo/src/radio/propagation.cpp" "src/radio/CMakeFiles/zeiot_radio.dir/propagation.cpp.o" "gcc" "src/radio/CMakeFiles/zeiot_radio.dir/propagation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zeiot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

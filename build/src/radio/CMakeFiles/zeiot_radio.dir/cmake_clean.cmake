@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeiot_radio.dir/ber.cpp.o"
+  "CMakeFiles/zeiot_radio.dir/ber.cpp.o.d"
+  "CMakeFiles/zeiot_radio.dir/coverage.cpp.o"
+  "CMakeFiles/zeiot_radio.dir/coverage.cpp.o.d"
+  "CMakeFiles/zeiot_radio.dir/fading.cpp.o"
+  "CMakeFiles/zeiot_radio.dir/fading.cpp.o.d"
+  "CMakeFiles/zeiot_radio.dir/link.cpp.o"
+  "CMakeFiles/zeiot_radio.dir/link.cpp.o.d"
+  "CMakeFiles/zeiot_radio.dir/propagation.cpp.o"
+  "CMakeFiles/zeiot_radio.dir/propagation.cpp.o.d"
+  "libzeiot_radio.a"
+  "libzeiot_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeiot_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

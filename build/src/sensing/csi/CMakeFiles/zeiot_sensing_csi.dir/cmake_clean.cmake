@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeiot_sensing_csi.dir/localization.cpp.o"
+  "CMakeFiles/zeiot_sensing_csi.dir/localization.cpp.o.d"
+  "libzeiot_sensing_csi.a"
+  "libzeiot_sensing_csi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeiot_sensing_csi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeiot_sensing_passive.dir/transducer.cpp.o"
+  "CMakeFiles/zeiot_sensing_passive.dir/transducer.cpp.o.d"
+  "libzeiot_sensing_passive.a"
+  "libzeiot_sensing_passive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeiot_sensing_passive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

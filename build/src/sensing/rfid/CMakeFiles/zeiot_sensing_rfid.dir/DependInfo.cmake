@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensing/rfid/sociogram.cpp" "src/sensing/rfid/CMakeFiles/zeiot_sensing_rfid.dir/sociogram.cpp.o" "gcc" "src/sensing/rfid/CMakeFiles/zeiot_sensing_rfid.dir/sociogram.cpp.o.d"
+  "/root/repo/src/sensing/rfid/tag_array.cpp" "src/sensing/rfid/CMakeFiles/zeiot_sensing_rfid.dir/tag_array.cpp.o" "gcc" "src/sensing/rfid/CMakeFiles/zeiot_sensing_rfid.dir/tag_array.cpp.o.d"
+  "/root/repo/src/sensing/rfid/trajectory.cpp" "src/sensing/rfid/CMakeFiles/zeiot_sensing_rfid.dir/trajectory.cpp.o" "gcc" "src/sensing/rfid/CMakeFiles/zeiot_sensing_rfid.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zeiot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/zeiot_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/zeiot_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

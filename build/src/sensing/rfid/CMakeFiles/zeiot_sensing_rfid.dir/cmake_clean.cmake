@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeiot_sensing_rfid.dir/sociogram.cpp.o"
+  "CMakeFiles/zeiot_sensing_rfid.dir/sociogram.cpp.o.d"
+  "CMakeFiles/zeiot_sensing_rfid.dir/tag_array.cpp.o"
+  "CMakeFiles/zeiot_sensing_rfid.dir/tag_array.cpp.o.d"
+  "CMakeFiles/zeiot_sensing_rfid.dir/trajectory.cpp.o"
+  "CMakeFiles/zeiot_sensing_rfid.dir/trajectory.cpp.o.d"
+  "libzeiot_sensing_rfid.a"
+  "libzeiot_sensing_rfid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeiot_sensing_rfid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

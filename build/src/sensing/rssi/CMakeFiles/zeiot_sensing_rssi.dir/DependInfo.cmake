@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensing/rssi/choco.cpp" "src/sensing/rssi/CMakeFiles/zeiot_sensing_rssi.dir/choco.cpp.o" "gcc" "src/sensing/rssi/CMakeFiles/zeiot_sensing_rssi.dir/choco.cpp.o.d"
+  "/root/repo/src/sensing/rssi/room_count.cpp" "src/sensing/rssi/CMakeFiles/zeiot_sensing_rssi.dir/room_count.cpp.o" "gcc" "src/sensing/rssi/CMakeFiles/zeiot_sensing_rssi.dir/room_count.cpp.o.d"
+  "/root/repo/src/sensing/rssi/train_car.cpp" "src/sensing/rssi/CMakeFiles/zeiot_sensing_rssi.dir/train_car.cpp.o" "gcc" "src/sensing/rssi/CMakeFiles/zeiot_sensing_rssi.dir/train_car.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zeiot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/zeiot_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/zeiot_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zeiot_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeiot_sensing_rssi.dir/choco.cpp.o"
+  "CMakeFiles/zeiot_sensing_rssi.dir/choco.cpp.o.d"
+  "CMakeFiles/zeiot_sensing_rssi.dir/room_count.cpp.o"
+  "CMakeFiles/zeiot_sensing_rssi.dir/room_count.cpp.o.d"
+  "CMakeFiles/zeiot_sensing_rssi.dir/train_car.cpp.o"
+  "CMakeFiles/zeiot_sensing_rssi.dir/train_car.cpp.o.d"
+  "libzeiot_sensing_rssi.a"
+  "libzeiot_sensing_rssi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeiot_sensing_rssi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeiot_sim.dir/simulator.cpp.o"
+  "CMakeFiles/zeiot_sim.dir/simulator.cpp.o.d"
+  "libzeiot_sim.a"
+  "libzeiot_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeiot_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

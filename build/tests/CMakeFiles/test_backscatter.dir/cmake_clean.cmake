@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backscatter.dir/test_backscatter.cpp.o"
+  "CMakeFiles/test_backscatter.dir/test_backscatter.cpp.o.d"
+  "test_backscatter"
+  "test_backscatter.pdb"
+  "test_backscatter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backscatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

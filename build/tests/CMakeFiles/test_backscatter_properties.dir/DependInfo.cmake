@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_backscatter_properties.cpp" "tests/CMakeFiles/test_backscatter_properties.dir/test_backscatter_properties.cpp.o" "gcc" "tests/CMakeFiles/test_backscatter_properties.dir/test_backscatter_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backscatter/CMakeFiles/zeiot_backscatter.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/zeiot_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zeiot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/zeiot_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/zeiot_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/zeiot_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zeiot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backscatter_properties.dir/test_backscatter_properties.cpp.o"
+  "CMakeFiles/test_backscatter_properties.dir/test_backscatter_properties.cpp.o.d"
+  "test_backscatter_properties"
+  "test_backscatter_properties.pdb"
+  "test_backscatter_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backscatter_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

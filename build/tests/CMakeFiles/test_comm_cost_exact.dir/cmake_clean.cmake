@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_cost_exact.dir/test_comm_cost_exact.cpp.o"
+  "CMakeFiles/test_comm_cost_exact.dir/test_comm_cost_exact.cpp.o.d"
+  "test_comm_cost_exact"
+  "test_comm_cost_exact.pdb"
+  "test_comm_cost_exact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_cost_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

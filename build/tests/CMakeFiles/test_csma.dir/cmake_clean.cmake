@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csma.dir/test_csma.cpp.o"
+  "CMakeFiles/test_csma.dir/test_csma.cpp.o.d"
+  "test_csma"
+  "test_csma.pdb"
+  "test_csma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

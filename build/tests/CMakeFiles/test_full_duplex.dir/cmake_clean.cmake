@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_full_duplex.dir/test_full_duplex.cpp.o"
+  "CMakeFiles/test_full_duplex.dir/test_full_duplex.cpp.o.d"
+  "test_full_duplex"
+  "test_full_duplex.pdb"
+  "test_full_duplex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_full_duplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intermittent_task.dir/test_intermittent_task.cpp.o"
+  "CMakeFiles/test_intermittent_task.dir/test_intermittent_task.cpp.o.d"
+  "test_intermittent_task"
+  "test_intermittent_task.pdb"
+  "test_intermittent_task[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intermittent_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

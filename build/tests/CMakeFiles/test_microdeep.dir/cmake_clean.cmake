@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_microdeep.dir/test_microdeep.cpp.o"
+  "CMakeFiles/test_microdeep.dir/test_microdeep.cpp.o.d"
+  "test_microdeep"
+  "test_microdeep.pdb"
+  "test_microdeep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_microdeep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

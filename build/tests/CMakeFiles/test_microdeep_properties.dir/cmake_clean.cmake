@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_microdeep_properties.dir/test_microdeep_properties.cpp.o"
+  "CMakeFiles/test_microdeep_properties.dir/test_microdeep_properties.cpp.o.d"
+  "test_microdeep_properties"
+  "test_microdeep_properties.pdb"
+  "test_microdeep_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_microdeep_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rfid.dir/test_rfid.cpp.o"
+  "CMakeFiles/test_rfid.dir/test_rfid.cpp.o.d"
+  "test_rfid"
+  "test_rfid.pdb"
+  "test_rfid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rfid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

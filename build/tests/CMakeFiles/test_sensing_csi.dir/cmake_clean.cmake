@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensing_csi.dir/test_sensing_csi.cpp.o"
+  "CMakeFiles/test_sensing_csi.dir/test_sensing_csi.cpp.o.d"
+  "test_sensing_csi"
+  "test_sensing_csi.pdb"
+  "test_sensing_csi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensing_csi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensing_rssi.dir/test_sensing_rssi.cpp.o"
+  "CMakeFiles/test_sensing_rssi.dir/test_sensing_rssi.cpp.o.d"
+  "test_sensing_rssi"
+  "test_sensing_rssi.pdb"
+  "test_sensing_rssi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensing_rssi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
