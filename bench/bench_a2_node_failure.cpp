@@ -9,6 +9,7 @@
 // peak communication cost.
 #include <iostream>
 
+#include "bench_report.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "datagen/temperature_field.hpp"
@@ -38,8 +39,10 @@ int main() {
   net.emplace<ml::ReLU>();
   net.emplace<ml::Dense>(8, 2, net_rng);
 
+  obs::Observability obs;
   MicroDeepConfig cfg;
   cfg.staleness = 0.25;
+  cfg.obs = &obs;
   MicroDeepModel model(net, wsn, {1, 17, 25}, cfg);
   ml::Adam opt(0.004);
   ml::TrainConfig tcfg;
@@ -79,5 +82,6 @@ int main() {
   t.print(std::cout);
   std::cout << "takeaway: accuracy degrades gracefully with missing sensors "
                "and the migrated assignment keeps routing\n";
+  bench::write_bench_report("bench_a2_node_failure", obs);
   return 0;
 }

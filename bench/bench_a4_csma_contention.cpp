@@ -8,6 +8,7 @@
 // B-MAC) is needed once fleets grow.
 #include <iostream>
 
+#include "bench_report.hpp"
 #include "common/table.hpp"
 #include "mac/csma.hpp"
 
@@ -16,13 +17,14 @@ using namespace zeiot::mac;
 
 int main() {
   std::cout << "=== A4: CSMA/CA saturation behaviour ===\n";
+  obs::Observability obs;
   Table t({"stations", "throughput", "collision prob", "mean delay (slots)",
            "drops", "Jain fairness"});
   for (std::size_t n : {1u, 2u, 5u, 10u, 20u, 40u, 80u}) {
     CsmaConfig cfg;
     cfg.num_stations = n;
     cfg.seed = 7;
-    const auto m = simulate_csma(cfg, 600000);
+    const auto m = simulate_csma(cfg, 600000, &obs);
     t.add_row({std::to_string(n), Table::pct(m.throughput),
                Table::pct(m.collision_probability),
                Table::num(m.mean_access_delay_slots, 0),
@@ -39,7 +41,7 @@ int main() {
       cfg.saturated = false;
       cfg.arrival_per_slot = a;
       cfg.seed = 7;
-      const auto m = simulate_csma(cfg, 600000);
+      const auto m = simulate_csma(cfg, 600000, &obs);
       t2.add_row({std::to_string(n), Table::num(a, 4),
                   Table::pct(m.throughput),
                   Table::pct(m.collision_probability)});
@@ -48,5 +50,6 @@ int main() {
   t2.print(std::cout);
   std::cout << "takeaway: contention collapses under scale — the motivation "
                "for cycle-registered scheduling in zero-energy fleets\n";
+  bench::write_bench_report("bench_a4_csma_contention", obs);
   return 0;
 }

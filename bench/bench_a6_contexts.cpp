@@ -10,6 +10,7 @@
 //  Fig. 2(b).
 #include <iostream>
 
+#include "bench_report.hpp"
 #include "common/table.hpp"
 #include "sensing/passive/transducer.hpp"
 #include "sensing/rfid/sociogram.hpp"
@@ -21,6 +22,7 @@ using namespace zeiot::sensing;
 
 int main() {
   std::cout << "=== A6: context-recognition applications (Sec. III.C) ===\n";
+  obs::Observability obs;
   Table t({"context", "technique", "result"});
 
   // (i/ii) posture.
@@ -33,6 +35,7 @@ int main() {
     t.add_row({"(i/ii) elderly/athlete posture",
                "8-tag array, phase trilateration",
                Table::pct(cm.accuracy()) + " over 4 postures"});
+    obs.metrics().gauge("contexts.posture.accuracy").set(cm.accuracy());
   }
 
   // (iii) intrusion / trajectory.
@@ -63,6 +66,9 @@ int main() {
                    " direction, " +
                    Table::pct(speed_err / std::max(1, correct)) +
                    " speed error"});
+    obs.metrics()
+        .gauge("contexts.intrusion.direction_accuracy")
+        .set(static_cast<double>(correct) / trials);
   }
 
   // (iv) sociogram.
@@ -78,6 +84,7 @@ int main() {
     t.add_row({"(iv) kindergarten sociogram", "zone co-presence graph",
                "Rand index " + Table::num(ri, 3) + ", " +
                    std::to_string(iso.size()) + " isolated flagged"});
+    obs.metrics().gauge("contexts.sociogram.rand_index").set(ri);
   }
 
   // (v) slope vibration.
@@ -120,5 +127,6 @@ int main() {
   }
 
   t.print(std::cout);
+  bench::write_bench_report("bench_a6_contexts", obs);
   return 0;
 }

@@ -5,6 +5,7 @@
 // congestion (low/medium/high) estimation with F-measure 0.82.
 #include <iostream>
 
+#include "bench_report.hpp"
 #include "common/table.hpp"
 #include "sensing/rssi/train_car.hpp"
 
@@ -27,5 +28,14 @@ int main() {
 
   std::cout << "\ncongestion confusion (rows = truth low/medium/high):\n";
   res.congestion_confusion.print(std::cout, {"low", "medium", "high"});
+
+  obs::Observability obs;
+  obs.metrics()
+      .gauge("sensing.train.position_accuracy")
+      .set(res.position_accuracy);
+  obs.metrics()
+      .gauge("sensing.train.congestion_macro_f1")
+      .set(res.congestion_macro_f1);
+  bench::write_bench_report("bench_e3_train_congestion", obs);
   return 0;
 }

@@ -5,6 +5,7 @@
 // to two people.
 #include <iostream>
 
+#include "bench_report.hpp"
 #include "common/table.hpp"
 #include "sensing/rssi/choco.hpp"
 #include "sensing/rssi/room_count.hpp"
@@ -43,5 +44,16 @@ int main() {
 
   std::cout << "\ncount confusion (rows = true count 0..10):\n";
   res.confusion.print(std::cout);
+
+  obs::Observability obs;
+  obs.metrics().gauge("sensing.room.exact_accuracy").set(res.exact_accuracy);
+  obs.metrics()
+      .gauge("sensing.room.within_two_accuracy")
+      .set(res.within_two_accuracy);
+  obs.metrics()
+      .gauge("sensing.room.mean_absolute_error")
+      .set(res.mean_absolute_error);
+  obs.metrics().gauge("sensing.choco.max_skew_s").set(round.max_skew_s);
+  bench::write_bench_report("bench_e4_room_count", obs);
   return 0;
 }

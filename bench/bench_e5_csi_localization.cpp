@@ -8,6 +8,7 @@
 // walking and the antenna orientations have divergence.
 #include <iostream>
 
+#include "bench_report.hpp"
 #include "common/table.hpp"
 #include "sensing/csi/localization.hpp"
 
@@ -23,21 +24,27 @@ int main() {
   cfg.knn_k = 3;
 
   const auto results = run_all_patterns(env, cfg);
+  obs::Observability obs;
   Table t({"pattern (behaviour/antennas)", "accuracy", "macro F1"});
   double best = 0.0;
   std::string best_name;
   for (const auto& r : results) {
     t.add_row({r.pattern.name(), Table::pct(r.accuracy),
                Table::num(r.confusion.macro_f1(), 3)});
+    obs.metrics()
+        .gauge("sensing.csi.accuracy", {{"pattern", r.pattern.name()}})
+        .set(r.accuracy);
     if (r.accuracy > best) {
       best = r.accuracy;
       best_name = r.pattern.name();
     }
   }
+  obs.metrics().gauge("sensing.csi.best_accuracy").set(best);
   t.print(std::cout);
   std::cout << "best pattern: " << best_name << " at " << Table::pct(best)
             << " (paper: walking + divergent antennas ~96%)\n";
   std::cout << "captured features per frame: 624 (12 Givens angles x 52 "
                "subcarriers, quantized psi=7/phi=9 bits)\n";
+  bench::write_bench_report("bench_e5_csi_localization", obs);
   return 0;
 }

@@ -12,12 +12,15 @@
 #include <iostream>
 
 #include "backscatter/coexistence.hpp"
+#include "bench_report.hpp"
 #include "common/table.hpp"
 
 using namespace zeiot;
 using namespace zeiot::backscatter;
 
 namespace {
+
+obs::Observability g_obs;
 
 CoexistenceMetrics run(MacMode mode, double rate, std::size_t devices) {
   CoexistenceConfig cfg;
@@ -27,7 +30,9 @@ CoexistenceMetrics run(MacMode mode, double rate, std::size_t devices) {
   cfg.num_devices = devices;
   cfg.device_period_s = 1.0;
   cfg.seed = 11;
-  return CoexistenceSimulator(cfg).run();
+  CoexistenceSimulator sim(cfg);
+  sim.set_observability(&g_obs);
+  return sim.run();
 }
 
 }  // namespace
@@ -71,5 +76,6 @@ int main() {
   t2.print(std::cout);
   std::cout << "paper claim (i)+(iii): uncoordinated tags collide and corrupt "
                "WLAN as the fleet grows; the granted MAC stays clean\n";
+  bench::write_bench_report("bench_e6_backscatter_mac", g_obs);
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_report.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "energy/device.hpp"
@@ -24,6 +25,7 @@ using namespace zeiot;
 
 int main() {
   std::cout << "=== E7: zero-energy budget (Sec. I / Fig. 1-2) ===\n";
+  obs::Observability obs;
 
   // (a) Power per communication technology (library defaults).
   energy::ActivityCosts costs;
@@ -67,6 +69,7 @@ int main() {
     energy::IntermittentDevice dev(
         std::make_unique<energy::SolarHarvester>(10e-6, Rng(5)),
         energy::Capacitor(470e-6, 5.0), energy::HysteresisSwitch(3.0, 2.2));
+    dev.set_observability(&obs, use_backscatter ? 0 : 1);
     const double report_airtime =
         use_backscatter ? bs_phy.frame_airtime_s(8) : kActiveRadioOnS;
     std::size_t due = 0, delivered = 0;
@@ -87,6 +90,10 @@ int main() {
                 Table::pct(static_cast<double>(delivered) /
                            static_cast<double>(due)),
                 Table::num(per_report * 1e6, 2) + " uJ"});
+    obs.metrics()
+        .gauge("energy.delivery_ratio",
+               {{"radio", use_backscatter ? "backscatter" : "active"}})
+        .set(static_cast<double>(delivered) / static_cast<double>(due));
   }
   t3.print(std::cout);
   std::cout << "paper: continuous zero-energy sensing is only viable with "
@@ -143,5 +150,6 @@ int main() {
                "regimes (tighter buffers - see tests/test_intermittent_"
                "task.cpp) it is the difference between completing and "
                "livelocking\n";
+  bench::write_bench_report("bench_e7_energy_budget", obs);
   return 0;
 }

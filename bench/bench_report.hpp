@@ -1,0 +1,52 @@
+// Shared reporting glue for the bench binaries.
+//
+// Every bench finishes by calling `write_bench_report(name, obs)`.  Before
+// serializing, the helper runs a small deterministic *calibration workload*
+// through the same instrumented paths — a 512-event simulator run and a
+// short 3-station CSMA round — so that every `<bench>.metrics.json` carries
+// a comparable core series regardless of which subsystems the bench itself
+// exercises:
+//
+//   sim.events.scheduled / executed      (event-queue kernel throughput)
+//   sim.callback.wall_s                  (host-speed baseline for perf diffs)
+//   mac.csma.*{stations=3}               (one MAC counter set)
+//
+// Benches that drive the simulator or MAC for real contribute additional
+// (differently labeled) series on top.  The calibration uses fixed seeds so
+// two runs of the same binary differ only in wall-time summaries.
+#pragma once
+
+#include <string>
+
+#include "mac/csma.hpp"
+#include "obs/report.hpp"
+#include "obs/sim_probe.hpp"
+#include "sim/simulator.hpp"
+
+namespace zeiot::bench {
+
+inline void run_calibration_probes(obs::Observability& obs) {
+  obs::SimulatorProbe probe(obs);
+  sim::Simulator sim;
+  sim.set_observer(&probe);
+  Rng rng(12345);
+  for (int i = 0; i < 512; ++i) {
+    sim.schedule(rng.uniform(0.0, 100.0), [] {});
+  }
+  sim.run();
+
+  mac::CsmaConfig csma;
+  csma.num_stations = 3;  // label distinct from the populations a4 sweeps
+  csma.seed = 99;
+  (void)mac::simulate_csma(csma, 20000, &obs);
+}
+
+/// Runs the calibration probes into `obs`, then writes
+/// `<name>.metrics.json` (honouring ZEIOT_METRICS_DIR).
+inline void write_bench_report(const std::string& name,
+                               obs::Observability& obs) {
+  run_calibration_probes(obs);
+  obs::Report(name).write_file(obs);
+}
+
+}  // namespace zeiot::bench

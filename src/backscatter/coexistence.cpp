@@ -28,6 +28,17 @@ double CoexistenceSimulator::backscatter_airtime(std::size_t bytes) const {
   return bs_phy_.frame_airtime_s(bytes);
 }
 
+void CoexistenceSimulator::set_observability(obs::Observability* obs) {
+  obs_ = obs;
+  if (obs_ != nullptr) {
+    probe_ = std::make_unique<obs::SimulatorProbe>(*obs_);
+    sim_.set_observer(probe_.get());
+  } else {
+    sim_.set_observer(nullptr);
+    probe_.reset();
+  }
+}
+
 void CoexistenceSimulator::schedule_wlan_arrival() {
   if (cfg_.wlan_rate_hz <= 0.0) return;
   const double dt = rng_.exponential(cfg_.wlan_rate_hz);
@@ -114,16 +125,34 @@ bool CoexistenceSimulator::proposed_on_carrier(double start,
   metrics_.frames_expired += expired;
   if (!f.has_value()) return false;
   channel_.add(start, tb, f->device + 1, "backscatter", false);
+  if (obs_ != nullptr) {
+    obs_->trace().record(start, obs::TraceType::BackscatterWindowOpen,
+                         f->device, 0, tb);
+    obs_->trace().record(start + tb, obs::TraceType::BackscatterWindowClose,
+                         f->device);
+  }
   if (tb > carrier_airtime) {
     // Extend the carrier with a dummy tail so the tag finishes its frame.
     const double extension = tb - carrier_airtime;
     channel_.add(channel_free_at_, extension, 0, "dummy", false);
+    if (obs_ != nullptr) {
+      obs_->metrics().counter("backscatter.dummy.injections").inc();
+      obs_->trace().record(channel_free_at_,
+                           obs::TraceType::DummyCarrierInjected, f->device, 0,
+                           extension);
+    }
     channel_free_at_ += extension;
     dummy_airtime_ += extension;
   }
   if (rng_.bernoulli(1.0 - cfg_.backscatter_noise_per)) {
     ++metrics_.frames_delivered;
-    latency_sum_ += start + tb - f->ready_at;
+    const double latency = start + tb - f->ready_at;
+    latency_sum_ += latency;
+    if (obs_ != nullptr) {
+      obs_->metrics()
+          .histogram("backscatter.latency_s", 0.0, cfg_.device_period_s, 50)
+          .observe(latency);
+    }
   } else {
     ++metrics_.frames_collided;  // noise loss (counted as link failure)
   }
@@ -151,11 +180,26 @@ void CoexistenceSimulator::proposed_check_deadlines() {
   channel_.add(now, tb, 0, "dummy", false);
   dummy_airtime_ += tb;
   channel_.add(now, tb, f->device + 1, "backscatter", false);
+  if (obs_ != nullptr) {
+    obs_->metrics().counter("backscatter.dummy.injections").inc();
+    obs_->trace().record(now, obs::TraceType::DummyCarrierInjected, f->device,
+                         0, tb);
+    obs_->trace().record(now, obs::TraceType::BackscatterWindowOpen,
+                         f->device, 0, tb);
+    obs_->trace().record(channel_free_at_,
+                         obs::TraceType::BackscatterWindowClose, f->device);
+  }
   const PendingFrame frame = *f;
   sim_.schedule_at(channel_free_at_, [this, frame, tb] {
     if (rng_.bernoulli(1.0 - cfg_.backscatter_noise_per)) {
       ++metrics_.frames_delivered;
-      latency_sum_ += sim_.now() - frame.ready_at;
+      const double latency = sim_.now() - frame.ready_at;
+      latency_sum_ += latency;
+      if (obs_ != nullptr) {
+        obs_->metrics()
+            .histogram("backscatter.latency_s", 0.0, cfg_.device_period_s, 50)
+            .observe(latency);
+      }
     } else {
       ++metrics_.frames_collided;
     }
@@ -187,6 +231,10 @@ void CoexistenceSimulator::naive_on_carrier(double start,
   if (riders.size() > 1) {
     // Tags cannot hear each other: simultaneous backscatter collides and
     // the in-flight frames must start over.
+    if (obs_ != nullptr) {
+      obs_->trace().record(start, obs::TraceType::PacketCollision,
+                           static_cast<std::uint32_t>(riders.size()));
+    }
     for (std::size_t i : riders) {
       DeviceState& d = devices_[i];
       d.remaining_airtime_s = backscatter_airtime(d.frame_bytes);
@@ -204,6 +252,12 @@ void CoexistenceSimulator::naive_on_carrier(double start,
     d.remaining_airtime_s = backscatter_airtime(d.frame_bytes);
   }
   channel_.add(start, carrier_airtime, d.id + 1, "backscatter", false);
+  if (obs_ != nullptr) {
+    obs_->trace().record(start, obs::TraceType::BackscatterWindowOpen, d.id, 0,
+                         carrier_airtime);
+    obs_->trace().record(start + carrier_airtime,
+                         obs::TraceType::BackscatterWindowClose, d.id);
+  }
   d.remaining_airtime_s -= carrier_airtime;
   d.last_carrier_end = start + carrier_airtime;
   if (d.remaining_airtime_s <= 0.0) {
@@ -212,7 +266,13 @@ void CoexistenceSimulator::naive_on_carrier(double start,
     if (finish <= d.deadline &&
         rng_.bernoulli(1.0 - cfg_.backscatter_noise_per)) {
       ++metrics_.frames_delivered;
-      latency_sum_ += finish - d.ready_at;
+      const double latency = finish - d.ready_at;
+      latency_sum_ += latency;
+      if (obs_ != nullptr) {
+        obs_->metrics()
+            .histogram("backscatter.latency_s", 0.0, cfg_.device_period_s, 50)
+            .observe(latency);
+      }
     } else if (finish > d.deadline) {
       ++metrics_.frames_expired;
     } else {
@@ -238,6 +298,33 @@ CoexistenceMetrics CoexistenceSimulator::run() {
       static_cast<double>(cfg_.wlan_payload_bytes) * 8.0 / cfg_.duration_s;
   metrics_.utilization = channel_.utilization(cfg_.duration_s);
   metrics_.dummy_airtime_fraction = dummy_airtime_ / cfg_.duration_s;
+
+  if (obs_ != nullptr) {
+    const obs::Labels mode{
+        {"mac", cfg_.mode == MacMode::Proposed ? "proposed" : "naive"}};
+    auto& m = obs_->metrics();
+    m.counter("backscatter.frames.generated", mode)
+        .inc(static_cast<double>(metrics_.frames_generated));
+    m.counter("backscatter.frames.delivered", mode)
+        .inc(static_cast<double>(metrics_.frames_delivered));
+    m.counter("backscatter.frames.expired", mode)
+        .inc(static_cast<double>(metrics_.frames_expired));
+    m.counter("backscatter.frames.collided", mode)
+        .inc(static_cast<double>(metrics_.frames_collided));
+    m.counter("backscatter.wlan.attempts", mode)
+        .inc(static_cast<double>(metrics_.wlan_attempts));
+    m.counter("backscatter.wlan.corrupted", mode)
+        .inc(static_cast<double>(metrics_.wlan_corrupted));
+    m.counter("backscatter.dummy.airtime_s").inc(dummy_airtime_);
+    m.gauge("backscatter.delivery_ratio", mode)
+        .set(metrics_.delivery_ratio());
+    m.gauge("backscatter.wlan.error_rate", mode)
+        .set(metrics_.wlan_error_rate());
+    m.gauge("backscatter.channel.utilization", mode)
+        .set(metrics_.utilization);
+    m.gauge("backscatter.dummy.airtime_fraction", mode)
+        .set(metrics_.dummy_airtime_fraction);
+  }
   return metrics_;
 }
 

@@ -15,12 +15,14 @@
 //    catch follow-up packets before a gap timeout.
 #pragma once
 
+#include <memory>
 #include <queue>
 
 #include "backscatter/bmac.hpp"
 #include "common/rng.hpp"
 #include "mac/channel.hpp"
 #include "mac/traffic.hpp"
+#include "obs/sim_probe.hpp"
 #include "phy/airtime.hpp"
 #include "sim/simulator.hpp"
 
@@ -88,6 +90,13 @@ class CoexistenceSimulator {
  public:
   explicit CoexistenceSimulator(CoexistenceConfig cfg);
 
+  /// Installs an observability context (or clears it with nullptr).  The
+  /// internal event kernel gets a SimulatorProbe, backscatter scheduling
+  /// decisions emit window-open/close and dummy-carrier trace events, and
+  /// `run()` publishes the coexistence counters/gauges labeled with the
+  /// MAC mode.  Must be called before `run()`.
+  void set_observability(obs::Observability* obs);
+
   /// Runs the full scenario and returns the metrics.
   CoexistenceMetrics run();
 
@@ -128,6 +137,8 @@ class CoexistenceSimulator {
   CoexistenceMetrics metrics_;
   double latency_sum_ = 0.0;
   double dummy_airtime_ = 0.0;
+  obs::Observability* obs_ = nullptr;
+  std::unique_ptr<obs::SimulatorProbe> probe_;
 };
 
 }  // namespace zeiot::backscatter

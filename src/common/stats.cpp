@@ -87,6 +87,21 @@ double Histogram::quantile(double q) const {
   return hi_;
 }
 
+double Histogram::percentile(double p) const {
+  ZEIOT_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile p must be in [0,100]");
+  return quantile(p / 100.0);
+}
+
+void Histogram::merge(const Histogram& other) {
+  ZEIOT_CHECK_MSG(lo_ == other.lo_ && hi_ == other.hi_ &&
+                      counts_.size() == other.counts_.size(),
+                  "Histogram::merge requires identical bounds and bin count");
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  total_ += other.total_;
+}
+
 double percentile(std::vector<double> samples, double q) {
   ZEIOT_CHECK_MSG(!samples.empty(), "percentile of empty sample set");
   ZEIOT_CHECK_MSG(q >= 0.0 && q <= 1.0, "percentile q must be in [0,1]");

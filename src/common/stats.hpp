@@ -49,6 +49,13 @@ class Histogram {
   double bin_high(std::size_t bin) const;
   /// Linear-interpolated quantile estimate, q in [0,1].
   double quantile(double q) const;
+  /// Percentile accessor, p in [0,100]: percentile(95) == quantile(0.95).
+  double percentile(double p) const;
+  /// Merges another histogram with identical bounds and bin count
+  /// (parallel-combinable, like RunningStats::merge).
+  void merge(const Histogram& other);
+  double low() const { return lo_; }
+  double high() const { return hi_; }
 
  private:
   double lo_;

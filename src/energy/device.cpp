@@ -30,6 +30,20 @@ IntermittentDevice::IntermittentDevice(std::unique_ptr<Harvester> harvester,
   ZEIOT_CHECK_MSG(harvester_ != nullptr, "device requires a harvester");
 }
 
+void IntermittentDevice::set_observability(obs::Observability* obs,
+                                           std::uint32_t device_id) {
+  obs_ = obs;
+  device_id_ = device_id;
+  if (obs_ == nullptr) {
+    harvested_ctr_ = boots_ctr_ = brownouts_ctr_ = nullptr;
+    return;
+  }
+  const obs::Labels dev{{"device", std::to_string(device_id_)}};
+  harvested_ctr_ = &obs_->metrics().counter("energy.harvested_j", dev);
+  boots_ctr_ = &obs_->metrics().counter("energy.boots", dev);
+  brownouts_ctr_ = &obs_->metrics().counter("energy.brownouts", dev);
+}
+
 void IntermittentDevice::advance(double t_seconds) {
   ZEIOT_CHECK_MSG(t_seconds >= last_t_, "advance() must be monotonic");
   // Integrate in small steps so duty-cycled harvesters and the hysteresis
@@ -45,9 +59,21 @@ void IntermittentDevice::advance(double t_seconds) {
       // capacitor cannot even sustain sleep).
       cap_.draw(std::min(cap_.energy_joule(), costs_.sleep_watt * dt));
     }
+    if (harvested_ctr_ != nullptr) harvested_ctr_->inc(p * dt);
     const bool was_on = switch_.is_on();
     switch_.update(cap_.voltage());
-    if (!was_on && switch_.is_on()) ++boots_;
+    if (!was_on && switch_.is_on()) {
+      ++boots_;
+      if (obs_ != nullptr) {
+        boots_ctr_->inc();
+        obs_->trace().record(t, obs::TraceType::EnergyBoot, device_id_, 0,
+                             cap_.voltage());
+      }
+    } else if (was_on && !switch_.is_on() && obs_ != nullptr) {
+      brownouts_ctr_->inc();
+      obs_->trace().record(t, obs::TraceType::EnergyBrownout, device_id_, 0,
+                           cap_.voltage());
+    }
     t += dt;
   }
   last_t_ = t_seconds;
@@ -65,8 +91,20 @@ bool IntermittentDevice::try_spend(const std::string& activity,
   if (was_on && !switch_.is_on()) {
     // The draw browned the device out; the activity still happened (energy
     // was available) but the device must re-boot before the next one.
+    if (obs_ != nullptr) {
+      brownouts_ctr_->inc();
+      obs_->trace().record(last_t_, obs::TraceType::EnergyBrownout,
+                           device_id_, 0, cap_.voltage());
+    }
   }
   ledger_.record(activity, e);
+  if (obs_ != nullptr) {
+    obs_->metrics()
+        .counter("energy.activity_j",
+                 {{"device", std::to_string(device_id_)},
+                  {"activity", activity}})
+        .inc(e);
+  }
   return true;
 }
 

@@ -11,6 +11,7 @@
 
 #include "energy/harvester.hpp"
 #include "energy/storage.hpp"
+#include "obs/obs.hpp"
 
 namespace zeiot::energy {
 
@@ -48,6 +49,16 @@ class IntermittentDevice {
   IntermittentDevice(std::unique_ptr<Harvester> harvester, Capacitor cap,
                      HysteresisSwitch sw, ActivityCosts costs = {});
 
+  /// Installs an observability context (or clears it with nullptr).
+  /// `device_id` labels this device's metrics and trace events so one
+  /// registry can hold a whole fleet.  Emits:
+  ///   energy.harvested_j{device=N}            (counter)
+  ///   energy.activity_j{device=N,activity=A}  (counters)
+  ///   energy.boots{device=N} / energy.brownouts{device=N}
+  /// plus EnergyBoot / EnergyBrownout trace events (a = device id,
+  /// value = capacitor voltage at the transition).
+  void set_observability(obs::Observability* obs, std::uint32_t device_id = 0);
+
   /// Integrates harvesting (and sleep leakage while ON) up to time `t`
   /// (must be >= the previous call).  Updates the ON/OFF state.
   void advance(double t_seconds);
@@ -79,6 +90,13 @@ class IntermittentDevice {
   EnergyLedger ledger_;
   double last_t_ = 0.0;
   std::size_t boots_ = 0;
+  obs::Observability* obs_ = nullptr;
+  std::uint32_t device_id_ = 0;
+  // Handles resolved once per set_observability so advance()'s inner loop
+  // does not rebuild label keys every 50 ms step.
+  obs::Counter* harvested_ctr_ = nullptr;
+  obs::Counter* boots_ctr_ = nullptr;
+  obs::Counter* brownouts_ctr_ = nullptr;
 };
 
 }  // namespace zeiot::energy

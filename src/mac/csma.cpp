@@ -38,7 +38,8 @@ int draw_backoff(Rng& rng, const CsmaConfig& cfg, int retries) {
 
 }  // namespace
 
-CsmaMetrics simulate_csma(const CsmaConfig& cfg, std::size_t slots) {
+CsmaMetrics simulate_csma(const CsmaConfig& cfg, std::size_t slots,
+                          obs::Observability* obs) {
   ZEIOT_CHECK_MSG(cfg.num_stations >= 1, "need stations");
   ZEIOT_CHECK_MSG(cfg.cw_min >= 2 && cfg.cw_max >= cfg.cw_min,
                   "invalid contention window");
@@ -99,6 +100,10 @@ CsmaMetrics simulate_csma(const CsmaConfig& cfg, std::size_t slots) {
       Station& st = stations[ready.front()];
       ++m.successes;
       ++m.per_station_successes[ready.front()];
+      if (obs != nullptr) {
+        obs->trace().record(static_cast<double>(slot), obs::TraceType::PacketTx,
+                            static_cast<std::uint32_t>(ready.front()));
+      }
       delay_sum += static_cast<double>(slot - st.enqueued_at);
       st.has_frame = cfg.saturated;
       st.retries = 0;
@@ -106,6 +111,11 @@ CsmaMetrics simulate_csma(const CsmaConfig& cfg, std::size_t slots) {
       st.enqueued_at = slot;
     } else {
       ++m.collisions;
+      if (obs != nullptr) {
+        obs->trace().record(static_cast<double>(slot),
+                            obs::TraceType::PacketCollision,
+                            static_cast<std::uint32_t>(ready.size()));
+      }
       for (std::size_t i : ready) {
         Station& st = stations[i];
         ++st.retries;
@@ -131,6 +141,24 @@ CsmaMetrics simulate_csma(const CsmaConfig& cfg, std::size_t slots) {
                 static_cast<double>(tx_opportunities);
   m.mean_access_delay_slots =
       m.successes == 0 ? 0.0 : delay_sum / static_cast<double>(m.successes);
+
+  if (obs != nullptr) {
+    const obs::Labels labels{{"saturated", cfg.saturated ? "1" : "0"},
+                             {"stations", std::to_string(cfg.num_stations)}};
+    auto& mreg = obs->metrics();
+    mreg.counter("mac.csma.successes", labels)
+        .inc(static_cast<double>(m.successes));
+    mreg.counter("mac.csma.collisions", labels)
+        .inc(static_cast<double>(m.collisions));
+    mreg.counter("mac.csma.drops", labels).inc(static_cast<double>(m.drops));
+    mreg.counter("mac.csma.tx_opportunities", labels)
+        .inc(static_cast<double>(tx_opportunities));
+    mreg.gauge("mac.csma.throughput", labels).set(m.throughput);
+    mreg.gauge("mac.csma.collision_probability", labels)
+        .set(m.collision_probability);
+    mreg.summary("mac.csma.access_delay_slots", labels)
+        .observe(m.mean_access_delay_slots);
+  }
   return m;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 
 namespace zeiot::mac {
 
@@ -47,6 +48,15 @@ struct CsmaMetrics {
 };
 
 /// Runs the contention process for `slots` idle-slot units.
-CsmaMetrics simulate_csma(const CsmaConfig& cfg, std::size_t slots);
+///
+/// When `obs` is non-null the run emits, labeled with the station count and
+/// saturation mode:
+///   mac.csma.successes / mac.csma.collisions / mac.csma.drops /
+///   mac.csma.tx_opportunities   (counters)
+///   mac.csma.throughput / mac.csma.collision_probability  (gauges)
+/// plus PacketTx / PacketCollision trace events (a = winning station or
+/// collider count, value = slot index).
+CsmaMetrics simulate_csma(const CsmaConfig& cfg, std::size_t slots,
+                          obs::Observability* obs = nullptr);
 
 }  // namespace zeiot::mac

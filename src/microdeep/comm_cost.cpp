@@ -98,7 +98,8 @@ void charge_aggregation_tree(const WsnTopology& wsn, NodeId root,
 
 CommCostReport compute_comm_cost(const Assignment& assignment,
                                  const WsnTopology& wsn,
-                                 const CommCostOptions& opts) {
+                                 const CommCostOptions& opts,
+                                 obs::Observability* obs) {
   const UnitGraph& g = assignment.graph();
   CommCostReport r;
   r.per_node.assign(wsn.num_nodes(), 0.0);
@@ -154,6 +155,17 @@ CommCostReport compute_comm_cost(const Assignment& assignment,
   double sum = 0.0;
   for (double c : r.per_node) sum += c;
   r.mean_cost = sum / static_cast<double>(r.per_node.size());
+
+  if (obs != nullptr) {
+    auto& m = obs->metrics();
+    m.gauge("microdeep.comm_cost.max_per_node").set(r.max_cost);
+    m.gauge("microdeep.comm_cost.mean_per_node").set(r.mean_cost);
+    m.gauge("microdeep.comm_cost.total_messages").set(r.total_messages);
+    m.gauge("microdeep.comm_cost.hop_transmissions")
+        .set(r.total_hop_transmissions);
+    m.gauge("microdeep.comm_cost.hottest_node")
+        .set(static_cast<double>(r.hottest_node));
+  }
   return r;
 }
 

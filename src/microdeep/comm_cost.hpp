@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "microdeep/assignment.hpp"
+#include "obs/obs.hpp"
 
 namespace zeiot::microdeep {
 
@@ -48,8 +49,14 @@ struct CommCostReport {
 
 /// Computes the per-node communication cost of running the assigned network
 /// once over the WSN.
+///
+/// When `obs` is non-null the report is also published as live gauges —
+/// the paper's Fig. 8/10 quantities:
+///   microdeep.comm_cost.max_per_node / .mean_per_node /
+///   .total_messages / .hop_transmissions / .hottest_node
 CommCostReport compute_comm_cost(const Assignment& assignment,
                                  const WsnTopology& wsn,
-                                 const CommCostOptions& opts = {});
+                                 const CommCostOptions& opts = {},
+                                 obs::Observability* obs = nullptr);
 
 }  // namespace zeiot::microdeep

@@ -40,7 +40,7 @@ MicroDeepModel::MicroDeepModel(ml::Network& net, const WsnTopology& wsn,
 }
 
 CommCostReport MicroDeepModel::comm_cost() const {
-  return compute_comm_cost(*assignment_, wsn_, cfg_.cost_options);
+  return compute_comm_cost(*assignment_, wsn_, cfg_.cost_options, cfg_.obs);
 }
 
 void MicroDeepModel::install_grad_hook(ml::Trainer& trainer) {
@@ -83,7 +83,17 @@ ml::TrainHistory MicroDeepModel::train(const ml::Dataset& train,
                                        ml::Optimizer& opt) {
   ml::Trainer trainer(net_, opt, rng_.split(1));
   install_grad_hook(trainer);
-  return trainer.fit(train, val, tcfg);
+  obs::ScopeTimer timer(cfg_.obs != nullptr
+                            ? &cfg_.obs->metrics()
+                                   .summary("microdeep.train.wall_s")
+                                   .mutable_stats()
+                            : nullptr);
+  const auto hist = trainer.fit(train, val, tcfg);
+  if (cfg_.obs != nullptr) {
+    cfg_.obs->metrics().gauge("microdeep.train.best_val_accuracy")
+        .set(hist.best_val_accuracy);
+  }
+  return hist;
 }
 
 double MicroDeepModel::evaluate(const ml::Dataset& data) {
@@ -100,7 +110,8 @@ double MicroDeepModel::evaluate_with_failures(const ml::Dataset& data,
   if (cost_after != nullptr) {
     Assignment migrated = *assignment_;
     migrated.reassign_dead_nodes(wsn_, dead);
-    *cost_after = compute_comm_cost(migrated, wsn_, cfg_.cost_options);
+    *cost_after = compute_comm_cost(migrated, wsn_, cfg_.cost_options,
+                                    cfg_.obs);
   }
   return evaluate(masked);
 }

@@ -32,6 +32,10 @@ struct MicroDeepConfig {
   CommCostOptions cost_options{};
   /// Seed for the model's internal randomness (init, batching, staleness).
   std::uint64_t seed = 42;
+  /// Optional observability context (null = no metrics/tracing).  Must
+  /// outlive the model.  comm_cost() publishes the Fig. 8/10 gauges and
+  /// train() records wall-time summaries into it.
+  obs::Observability* obs = nullptr;
 };
 
 /// Builds and owns the unit graph + assignment for an existing network and

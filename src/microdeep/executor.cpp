@@ -50,7 +50,8 @@ ExecutionResult execute_distributed(ml::Network& net, const UnitGraph& graph,
                                     const Assignment& assignment,
                                     const WsnTopology& wsn,
                                     const ml::Tensor& sample,
-                                    const LatencyModel& lat) {
+                                    const LatencyModel& lat,
+                                    obs::Observability* obs) {
   ZEIOT_CHECK_MSG(sample.ndim() == 3, "sample must be (C,H,W)");
   const auto& layers = graph.layers();
   const UnitLayer& input = layers.front();
@@ -77,6 +78,9 @@ ExecutionResult execute_distributed(ml::Network& net, const UnitGraph& graph,
 
   ExecutionResult res;
   std::unordered_set<std::uint64_t> message_dedup;
+  // Per-node message involvement (tx at source, rx at destination), kept
+  // locally and published once so the hot loop stays map-free.
+  std::vector<double> node_messages(obs != nullptr ? wsn.num_nodes() : 0, 0.0);
 
   // The message arrival time of `src`'s activation at `dst`'s node, also
   // counting the (deduplicated) message.
@@ -85,9 +89,18 @@ ExecutionResult execute_distributed(ml::Network& net, const UnitGraph& graph,
     const NodeId dn = assignment.node_of(dst);
     if (sn == dn) return units[src].ready_at;
     const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dn;
-    if (message_dedup.insert(key).second) res.total_messages += 1.0;
+    const int hops = wsn.hops(sn, dn);
+    if (message_dedup.insert(key).second) {
+      res.total_messages += 1.0;
+      if (obs != nullptr) {
+        node_messages[sn] += 1.0;
+        node_messages[dn] += 1.0;
+        obs->trace().record(units[src].ready_at, obs::TraceType::MicroDeepHop,
+                            sn, dn, static_cast<double>(hops));
+      }
+    }
     return units[src].ready_at +
-           lat.hop_latency_s * static_cast<double>(wsn.hops(sn, dn));
+           lat.hop_latency_s * static_cast<double>(hops);
   };
 
   // Walk the network layer by layer, mirroring UnitGraph::build's mapping.
@@ -224,6 +237,22 @@ ExecutionResult execute_distributed(ml::Network& net, const UnitGraph& graph,
     latency = std::max(latency, units[u].ready_at);
   }
   res.inference_latency_s = latency;
+
+  if (obs != nullptr) {
+    auto& m = obs->metrics();
+    m.counter("microdeep.exec.messages").inc(res.total_messages);
+    m.summary("microdeep.exec.latency_s").observe(res.inference_latency_s);
+    double peak = 0.0;
+    for (NodeId n = 0; n < node_messages.size(); ++n) {
+      if (node_messages[n] > 0.0) {
+        m.counter("microdeep.exec.node_messages",
+                  {{"node", std::to_string(n)}})
+            .inc(node_messages[n]);
+      }
+      peak = std::max(peak, node_messages[n]);
+    }
+    m.gauge("microdeep.exec.max_messages_per_node").set(peak);
+  }
   return res;
 }
 

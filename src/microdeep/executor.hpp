@@ -17,6 +17,7 @@
 
 #include "microdeep/assignment.hpp"
 #include "ml/network.hpp"
+#include "obs/obs.hpp"
 
 namespace zeiot::microdeep {
 
@@ -42,10 +43,18 @@ struct ExecutionResult {
 /// Executes one (C,H,W) sample through `net` using only the unit-graph
 /// dataflow and the assignment.  `net` must be the network the graph was
 /// built from.
+///
+/// When `obs` is non-null the walk emits per-node activation-message
+/// counters (microdeep.exec.messages, microdeep.exec.node_messages{node=N},
+/// microdeep.exec.max_messages_per_node gauge), a latency summary
+/// (microdeep.exec.latency_s) and one MicroDeepHop trace event per
+/// cross-node message (a = source node, b = destination node, value = hop
+/// count).
 ExecutionResult execute_distributed(ml::Network& net, const UnitGraph& graph,
                                     const Assignment& assignment,
                                     const WsnTopology& wsn,
                                     const ml::Tensor& sample,
-                                    const LatencyModel& lat = {});
+                                    const LatencyModel& lat = {},
+                                    obs::Observability* obs = nullptr);
 
 }  // namespace zeiot::microdeep

@@ -1,0 +1,189 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace zeiot::obs {
+
+void Counter::inc(double delta) {
+  ZEIOT_CHECK_MSG(delta >= 0.0, "Counter::inc requires delta >= 0, got "
+                                    << delta);
+  value_ += delta;
+}
+
+void Gauge::set(double v) {
+  value_ = v;
+  max_seen_ = written_ ? std::max(max_seen_, v) : v;
+  written_ = true;
+}
+
+void HistogramMetric::observe(double x) {
+  hist_.add(x);
+  stats_.add(x);
+}
+
+std::string MetricsRegistry::flat_key(const std::string& name,
+                                      const Labels& labels) {
+  ZEIOT_CHECK_MSG(!name.empty(), "metric name must not be empty");
+  if (labels.empty()) return name;
+  std::string key = name;
+  key += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) key += ',';
+    key += labels[i].first;
+    key += '=';
+    key += labels[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  return counters_[flat_key(name, labels)];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  return gauges_[flat_key(name, labels)];
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo,
+                                            double hi, std::size_t bins,
+                                            const Labels& labels) {
+  const std::string key = flat_key(name, labels);
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(key, HistogramMetric(lo, hi, bins)).first;
+  }
+  return it->second;
+}
+
+Summary& MetricsRegistry::summary(const std::string& name,
+                                  const Labels& labels) {
+  return summaries_[flat_key(name, labels)];
+}
+
+double MetricsRegistry::counter_value(const std::string& name,
+                                      const Labels& labels) const {
+  const auto it = counters_.find(flat_key(name, labels));
+  return it == counters_.end() ? 0.0 : it->second.value();
+}
+
+double MetricsRegistry::gauge_value(const std::string& name,
+                                    const Labels& labels) const {
+  const auto it = gauges_.find(flat_key(name, labels));
+  return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+bool MetricsRegistry::has(const std::string& name, const Labels& labels) const {
+  const std::string key = flat_key(name, labels);
+  return counters_.count(key) > 0 || gauges_.count(key) > 0 ||
+         histograms_.count(key) > 0 || summaries_.count(key) > 0;
+}
+
+std::size_t MetricsRegistry::size() const {
+  return counters_.size() + gauges_.size() + histograms_.size() +
+         summaries_.size();
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [key, c] : other.counters_) {
+    counters_[key].value_ += c.value_;
+  }
+  for (const auto& [key, g] : other.gauges_) {
+    if (!g.written_) continue;
+    Gauge& mine = gauges_[key];
+    const double peak =
+        mine.written_ ? std::max(mine.max_seen_, g.max_seen_) : g.max_seen_;
+    mine.value_ = g.value_;
+    mine.max_seen_ = peak;
+    mine.written_ = true;
+  }
+  for (const auto& [key, h] : other.histograms_) {
+    auto it = histograms_.find(key);
+    if (it == histograms_.end()) {
+      histograms_.emplace(key, h);
+    } else {
+      it->second.hist_.merge(h.hist_);
+      it->second.stats_.merge(h.stats_);
+    }
+  }
+  for (const auto& [key, s] : other.summaries_) {
+    summaries_[key].stats_.merge(s.stats_);
+  }
+}
+
+namespace {
+
+void write_stats(JsonWriter& w, const RunningStats& s) {
+  w.key("count").value(static_cast<std::uint64_t>(s.count()));
+  w.key("mean").value(s.mean());
+  if (!s.empty()) {
+    w.key("min").value(s.min());
+    w.key("max").value(s.max());
+    w.key("stddev").value(s.stddev());
+  }
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  JsonWriter w(out);
+  w.begin_object();
+
+  w.key("counters").begin_object();
+  for (const auto& [key, c] : counters_) {
+    w.key(key).value(c.value());
+  }
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const auto& [key, g] : gauges_) {
+    w.key(key).begin_object();
+    w.key("value").value(g.value());
+    w.key("max_seen").value(g.max_seen());
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [key, h] : histograms_) {
+    const Histogram& hist = h.histogram();
+    w.key(key).begin_object();
+    w.key("lo").value(hist.low());
+    w.key("hi").value(hist.high());
+    w.key("total").value(static_cast<std::uint64_t>(hist.total()));
+    w.key("p50").value(hist.percentile(50.0));
+    w.key("p95").value(hist.percentile(95.0));
+    w.key("p99").value(hist.percentile(99.0));
+    write_stats(w, h.stats());
+    w.key("bins").begin_array();
+    for (std::size_t b = 0; b < hist.bins(); ++b) {
+      w.value(static_cast<std::uint64_t>(hist.bin_count(b)));
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("summaries").begin_object();
+  for (const auto& [key, s] : summaries_) {
+    w.key(key).begin_object();
+    write_stats(w, s.stats());
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace zeiot::obs

@@ -1,0 +1,58 @@
+// Observability context: one metrics registry + one trace recorder,
+// threaded through instrumented components as a nullable pointer.
+//
+// Convention across the library: every instrumented component accepts an
+// `obs::Observability*` (constructor argument, config field, or trailing
+// function parameter) defaulting to nullptr.  A null context disables both
+// metrics and tracing at the cost of one pointer test per emit site — the
+// "null sink" that keeps unobserved hot paths at seed speed.
+#pragma once
+
+#include <chrono>
+
+#include "common/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace zeiot::obs {
+
+class Observability {
+ public:
+  explicit Observability(std::size_t trace_capacity = 4096)
+      : trace_(trace_capacity) {}
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  TraceRecorder& trace() { return trace_; }
+  const TraceRecorder& trace() const { return trace_; }
+
+ private:
+  MetricsRegistry metrics_;
+  TraceRecorder trace_;
+};
+
+/// RAII wall-clock timer feeding a RunningStats (or nothing when given
+/// nullptr, preserving the null-sink convention).
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(RunningStats* into)
+      : into_(into), start_(std::chrono::steady_clock::now()) {}
+  explicit ScopeTimer(Summary& into) : ScopeTimer(&into.mutable_stats()) {}
+  ~ScopeTimer() {
+    if (into_ != nullptr) into_->add(elapsed_s());
+  }
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+  double elapsed_s() const {
+    const std::chrono::duration<double> d =
+        std::chrono::steady_clock::now() - start_;
+    return d.count();
+  }
+
+ private:
+  RunningStats* into_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace zeiot::obs

@@ -1,0 +1,61 @@
+#include "obs/report.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace zeiot::obs {
+
+Report::Report(std::string bench_name) : name_(std::move(bench_name)) {
+  ZEIOT_CHECK_MSG(!name_.empty(), "report needs a bench name");
+}
+
+std::string Report::path() const {
+  const char* dir = std::getenv("ZEIOT_METRICS_DIR");
+  if (dir != nullptr && dir[0] != '\0') {
+    std::string p(dir);
+    if (p.back() != '/') p += '/';
+    return p + name_ + ".metrics.json";
+  }
+  return name_ + ".metrics.json";
+}
+
+void Report::write(std::ostream& out, const MetricsRegistry& metrics,
+                   const TraceRecorder* trace) const {
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("schema").value("zeiot.obs.v1");
+  w.key("bench").value(name_);
+  w.key("metrics");
+  // The registry writes its own JSON object into the same stream; the
+  // writer's comma state is safe because key() already emitted the ':'.
+  metrics.write_json(out);
+  if (trace != nullptr) {
+    w.key("trace").begin_object();
+    w.key("recorded").value(trace->recorded());
+    w.key("retained").value(static_cast<std::uint64_t>(trace->size()));
+    w.key("dropped").value(trace->dropped());
+    w.end_object();
+  }
+  w.end_object();
+  out << '\n';
+}
+
+std::optional<std::string> Report::write_file(const MetricsRegistry& metrics,
+                                              const TraceRecorder* trace)
+    const {
+  const std::string p = path();
+  std::ofstream out(p);
+  if (!out) {
+    std::cerr << "obs: could not open " << p << " for writing; skipping "
+              << "metrics report\n";
+    return std::nullopt;
+  }
+  write(out, metrics, trace);
+  return p;
+}
+
+}  // namespace zeiot::obs

@@ -1,0 +1,52 @@
+// Machine-readable bench reports.
+//
+// Every binary in bench/ emits, next to its stdout tables, a
+// `<bench>.metrics.json` file so the perf trajectory can track the
+// paper-relevant quantities (Fig. 8-style max comm cost, MAC collision
+// rates, energy budgets) across PRs without scraping text.  Schema:
+//
+//   {
+//     "schema": "zeiot.obs.v1",
+//     "bench": "<name>",
+//     "metrics": { "counters": {...}, "gauges": {...},
+//                  "histograms": {...}, "summaries": {...} },
+//     "trace": { "recorded": N, "retained": M }        // when traced
+//   }
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace zeiot::obs {
+
+class Report {
+ public:
+  /// `bench_name` becomes both the "bench" field and the output file stem.
+  explicit Report(std::string bench_name);
+
+  const std::string& bench_name() const { return name_; }
+  /// Output path: "<bench_name>.metrics.json" in the working directory
+  /// unless overridden by the ZEIOT_METRICS_DIR environment variable.
+  std::string path() const;
+
+  /// Serializes the full report document to `out`.
+  void write(std::ostream& out, const MetricsRegistry& metrics,
+             const TraceRecorder* trace = nullptr) const;
+
+  /// Writes `path()`; returns the path written, or nullopt (with a note on
+  /// stderr) if the file could not be opened.  Benches call this last so a
+  /// read-only working directory never fails the run itself.
+  std::optional<std::string> write_file(const MetricsRegistry& metrics,
+                                        const TraceRecorder* trace = nullptr)
+      const;
+  std::optional<std::string> write_file(const Observability& obs) const {
+    return write_file(obs.metrics(), &obs.trace());
+  }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace zeiot::obs

@@ -1,0 +1,34 @@
+#include "obs/sim_probe.hpp"
+
+namespace zeiot::obs {
+
+SimulatorProbe::SimulatorProbe(Observability& obs)
+    : obs_(obs),
+      scheduled_(obs.metrics().counter("sim.events.scheduled")),
+      executed_(obs.metrics().counter("sim.events.executed")),
+      cancelled_(obs.metrics().counter("sim.events.cancelled")),
+      queue_depth_(obs.metrics().gauge("sim.queue.depth")),
+      wall_(obs.metrics().summary("sim.callback.wall_s")) {}
+
+void SimulatorProbe::on_scheduled(sim::Time t, std::uint64_t id) {
+  scheduled_.inc();
+  obs_.trace().record(t, TraceType::EventScheduled,
+                      static_cast<std::uint32_t>(id));
+}
+
+void SimulatorProbe::on_cancelled(sim::Time now, std::uint64_t id) {
+  cancelled_.inc();
+  obs_.trace().record(now, TraceType::EventCancelled,
+                      static_cast<std::uint32_t>(id));
+}
+
+void SimulatorProbe::on_executed(sim::Time t, std::uint64_t id,
+                                 std::size_t queue_depth, double wall_s) {
+  executed_.inc();
+  queue_depth_.set(static_cast<double>(queue_depth));
+  wall_.observe(wall_s);
+  obs_.trace().record(t, TraceType::EventFired,
+                      static_cast<std::uint32_t>(id));
+}
+
+}  // namespace zeiot::obs

@@ -1,0 +1,43 @@
+// Adapter from the simulator kernel's observer interface onto the
+// observability layer.
+//
+// Attach with:
+//   obs::Observability obs;
+//   obs::SimulatorProbe probe(obs);
+//   sim.set_observer(&probe);
+//
+// Emitted metrics:
+//   sim.events.scheduled / sim.events.executed / sim.events.cancelled
+//       (counters)
+//   sim.queue.depth            (gauge, peak via max_seen)
+//   sim.callback.wall_s        (summary of per-callback host wall time)
+// Emitted trace events: EventScheduled / EventFired / EventCancelled with
+// a = low 32 bits of the event sequence id.  Wall time is deliberately
+// *not* traced so that two same-seed runs produce identical traces.
+#pragma once
+
+#include "obs/obs.hpp"
+#include "sim/simulator.hpp"
+
+namespace zeiot::obs {
+
+class SimulatorProbe final : public sim::SimObserver {
+ public:
+  explicit SimulatorProbe(Observability& obs);
+
+  void on_scheduled(sim::Time t, std::uint64_t id) override;
+  void on_cancelled(sim::Time now, std::uint64_t id) override;
+  void on_executed(sim::Time t, std::uint64_t id, std::size_t queue_depth,
+                   double wall_s) override;
+
+ private:
+  Observability& obs_;
+  // Handles resolved once so the per-event path is increment-only.
+  Counter& scheduled_;
+  Counter& executed_;
+  Counter& cancelled_;
+  Gauge& queue_depth_;
+  Summary& wall_;
+};
+
+}  // namespace zeiot::obs

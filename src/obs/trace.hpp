@@ -1,0 +1,92 @@
+// Bounded ring-buffer recorder of typed, timestamped simulation events.
+//
+// Tracing answers "what happened, in order" where metrics answer "how
+// much".  The recorder keeps the most recent `capacity` events (old events
+// are overwritten, with the overwrite count reported) so an always-on
+// trace never grows without bound.  A disabled recorder is a null sink:
+// instrumented code holds a nullable pointer and every emit site guards
+// with a single pointer test, so tracing costs nothing when off.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace zeiot::obs {
+
+/// Event vocabulary shared by all instrumented subsystems.
+enum class TraceType : std::uint8_t {
+  // Discrete-event simulator kernel.
+  EventScheduled,
+  EventFired,
+  EventCancelled,
+  // MAC / channel.
+  PacketTx,
+  PacketRx,
+  PacketCollision,
+  // Backscatter MAC.
+  BackscatterWindowOpen,
+  BackscatterWindowClose,
+  DummyCarrierInjected,
+  // MicroDeep.
+  MicroDeepHop,
+  // Energy.
+  EnergyHarvest,
+  EnergyBoot,
+  EnergyBrownout,
+};
+
+/// Stable lowercase name used in JSONL exports.
+const char* trace_type_name(TraceType type);
+
+/// One trace record.  `a` and `b` are type-dependent small identifiers
+/// (event seq, device id, source/destination node); `value` is a
+/// type-dependent payload (bytes, joules, airtime...).  Fixed-size and
+/// trivially copyable so the ring buffer is a flat array.
+struct TraceEvent {
+  double t = 0.0;
+  TraceType type = TraceType::EventFired;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  double value = 0.0;
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// Fixed-capacity ring buffer of trace events.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 4096);
+
+  void record(double t, TraceType type, std::uint32_t a = 0,
+              std::uint32_t b = 0, double value = 0.0);
+
+  std::size_t capacity() const { return buf_.size(); }
+  /// Events currently retained (<= capacity).
+  std::size_t size() const { return count_; }
+  /// Events ever recorded, including overwritten ones.
+  std::uint64_t recorded() const { return recorded_; }
+  /// Events lost to wraparound.
+  std::uint64_t dropped() const { return recorded_ - count_; }
+
+  /// i-th retained event, oldest first (0 <= i < size()).
+  const TraceEvent& at(std::size_t i) const;
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+
+  void clear();
+
+  /// Writes one JSON object per line: {"t":..,"type":"..","a":..,"b":..,
+  /// "v":..}.
+  void export_jsonl(std::ostream& out) const;
+
+ private:
+  std::vector<TraceEvent> buf_;
+  std::size_t next_ = 0;   // next write slot
+  std::size_t count_ = 0;  // retained events
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace zeiot::obs

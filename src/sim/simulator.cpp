@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 namespace zeiot::sim {
@@ -16,6 +17,7 @@ EventHandle Simulator::push(Time t, Callback cb) {
   auto* ev = new Event{t, next_seq_++, std::move(cb), false};
   heap_.push(ev);
   live_ids_.insert(ev->seq);
+  if (observer_ != nullptr) observer_->on_scheduled(t, ev->seq);
   return EventHandle(ev->seq);
 }
 
@@ -34,22 +36,36 @@ bool Simulator::cancel(EventHandle h) {
   if (h.id_ == 0) return false;
   // Cancellation is lazy: the event cannot be removed from the middle of the
   // heap, so drop it from the live set and skip it when it surfaces.
-  return live_ids_.erase(h.id_) > 0;
+  const bool cancelled = live_ids_.erase(h.id_) > 0;
+  if (cancelled && observer_ != nullptr) observer_->on_cancelled(now_, h.id_);
+  return cancelled;
 }
 
-void Simulator::pop_and_run() {
+bool Simulator::pop_and_run() {
   std::unique_ptr<Event> ev(heap_.top());
   heap_.pop();
-  if (live_ids_.erase(ev->seq) == 0) return;  // was cancelled
+  if (live_ids_.erase(ev->seq) == 0) return false;  // was cancelled
   now_ = ev->time;
+  if (observer_ == nullptr) {
+    ev->cb();
+    return true;
+  }
+  // Wall-clock timing of the callback only happens when observed, so the
+  // unobserved hot path stays a single pointer test.
+  const auto start = std::chrono::steady_clock::now();
   ev->cb();
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+  observer_->on_executed(ev->time, ev->seq, live_ids_.size(), wall.count());
+  return true;
 }
 
 std::size_t Simulator::run(std::size_t limit) {
   std::size_t executed = 0;
+  // Lazily-cancelled events popped off the heap do not count as executed
+  // (the observer's events_executed counter matches the return value).
   while (!heap_.empty() && executed < limit) {
-    pop_and_run();
-    ++executed;
+    if (pop_and_run()) ++executed;
   }
   return executed;
 }
@@ -58,8 +74,7 @@ std::size_t Simulator::run_until(Time t) {
   ZEIOT_CHECK_MSG(t >= now_, "run_until() in the past");
   std::size_t executed = 0;
   while (!heap_.empty() && heap_.top()->time <= t) {
-    pop_and_run();
-    ++executed;
+    if (pop_and_run()) ++executed;
   }
   now_ = std::max(now_, t);
   return executed;

@@ -30,6 +30,30 @@ class EventHandle {
   std::uint64_t id_ = 0;  // 0 = null handle
 };
 
+/// Optional observer of simulator internals (scheduling, execution,
+/// cancellation, queue depth, per-callback wall time).  The default
+/// implementations are no-ops, so observers override only what they need.
+/// `zeiot::obs::SimulatorProbe` adapts this interface onto the metrics /
+/// tracing layer; with no observer installed the kernel pays only a null
+/// pointer test per event.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+  /// An event was scheduled for absolute time `t` with sequence id `id`.
+  virtual void on_scheduled(Time t, std::uint64_t id) { (void)t; (void)id; }
+  /// A live event was cancelled at simulation time `now`.
+  virtual void on_cancelled(Time now, std::uint64_t id) {
+    (void)now; (void)id;
+  }
+  /// An event's callback ran at simulation time `t`.  `queue_depth` is the
+  /// number of events still pending after this one; `wall_s` is the host
+  /// wall-clock duration of the callback.
+  virtual void on_executed(Time t, std::uint64_t id, std::size_t queue_depth,
+                           double wall_s) {
+    (void)t; (void)id; (void)queue_depth; (void)wall_s;
+  }
+};
+
 /// Event-driven simulator.  Not thread-safe; one instance per experiment.
 class Simulator {
  public:
@@ -63,6 +87,12 @@ class Simulator {
   /// Number of events currently pending (scheduled, not yet run/cancelled).
   std::size_t pending() const { return live_ids_.size(); }
 
+  /// Installs (or clears, with nullptr) the observer.  The observer must
+  /// outlive the simulator or be cleared first; it is notified of every
+  /// schedule/cancel/execute from the moment it is set.
+  void set_observer(SimObserver* observer) { observer_ = observer; }
+  SimObserver* observer() const { return observer_; }
+
  private:
   struct Event {
     Time time;
@@ -78,7 +108,9 @@ class Simulator {
   };
 
   EventHandle push(Time t, Callback cb);
-  void pop_and_run();
+  /// Pops the earliest event; returns true if its callback ran (false for
+  /// lazily-cancelled events surfacing from the heap).
+  bool pop_and_run();
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 1;
@@ -87,6 +119,7 @@ class Simulator {
   // are scheduled and not cancelled.
   std::priority_queue<Event*, std::vector<Event*>, Order> heap_;
   std::unordered_set<std::uint64_t> live_ids_;
+  SimObserver* observer_ = nullptr;
 };
 
 /// Repeating timer helper: reschedules itself every `period` until stopped.

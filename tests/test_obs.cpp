@@ -1,0 +1,194 @@
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/sim_probe.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace zeiot::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterCreateAndIncrement) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("foo.count");
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  c.inc();
+  c.inc(2.5);
+  EXPECT_DOUBLE_EQ(reg.counter_value("foo.count"), 3.5);
+  // Same name resolves to the same counter.
+  reg.counter("foo.count").inc();
+  EXPECT_DOUBLE_EQ(c.value(), 4.5);
+}
+
+TEST(MetricsRegistry, LabelsDistinguishSeries) {
+  MetricsRegistry reg;
+  reg.counter("msgs", {{"node", "1"}}).inc(10.0);
+  reg.counter("msgs", {{"node", "2"}}).inc(20.0);
+  EXPECT_DOUBLE_EQ(reg.counter_value("msgs", {{"node", "1"}}), 10.0);
+  EXPECT_DOUBLE_EQ(reg.counter_value("msgs", {{"node", "2"}}), 20.0);
+  EXPECT_FALSE(reg.has("msgs"));
+  EXPECT_TRUE(reg.has("msgs", {{"node", "1"}}));
+}
+
+TEST(MetricsRegistry, FlatKeyFormat) {
+  EXPECT_EQ(MetricsRegistry::flat_key("x", {}), "x");
+  EXPECT_EQ(MetricsRegistry::flat_key("x", {{"a", "1"}, {"b", "2"}}),
+            "x{a=1,b=2}");
+}
+
+TEST(MetricsRegistry, GaugeTracksPeak) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("depth");
+  g.set(3.0);
+  g.set(7.0);
+  g.set(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  EXPECT_DOUBLE_EQ(g.max_seen(), 7.0);
+}
+
+TEST(MetricsRegistry, MergeRoundTrip) {
+  MetricsRegistry a, b;
+  a.counter("events").inc(5.0);
+  b.counter("events").inc(7.0);
+  b.counter("only_b").inc(1.0);
+  a.gauge("peak").set(3.0);
+  b.gauge("peak").set(2.0);
+  a.histogram("lat", 0.0, 1.0, 10).observe(0.15);
+  b.histogram("lat", 0.0, 1.0, 10).observe(0.85);
+  a.summary("wall").observe(1.0);
+  b.summary("wall").observe(3.0);
+
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.counter_value("events"), 12.0);
+  EXPECT_DOUBLE_EQ(a.counter_value("only_b"), 1.0);
+  // Gauges take the other run's (later) value but keep the max over both.
+  EXPECT_DOUBLE_EQ(a.gauge_value("peak"), 2.0);
+  EXPECT_DOUBLE_EQ(a.gauge("peak").max_seen(), 3.0);
+  EXPECT_EQ(a.histogram("lat", 0.0, 1.0, 10).histogram().total(), 2u);
+  EXPECT_EQ(a.summary("wall").stats().count(), 2u);
+  EXPECT_DOUBLE_EQ(a.summary("wall").stats().mean(), 2.0);
+}
+
+TEST(MetricsRegistry, HistogramSerialization) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("lat_s", 0.0, 10.0, 5);
+  for (double x : {1.0, 1.5, 9.0}) h.observe(x);
+  const std::string json = reg.to_json();
+  // Structure: a "histograms" section with bounds, percentiles and bins.
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"lat_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"bins\""), std::string::npos);
+  EXPECT_NE(json.find("\"total\":3"), std::string::npos);
+}
+
+TEST(JsonWriter, EscapesAndNonFinite) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("s");
+  w.value(std::string("a\"b\n"));
+  w.key("inf");
+  w.value(1.0 / 0.0);
+  w.end_object();
+  EXPECT_EQ(out.str(), "{\"s\":\"a\\\"b\\n\",\"inf\":null}");
+}
+
+TEST(TraceRecorder, RingWraparound) {
+  TraceRecorder rec(8);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    rec.record(static_cast<double>(i), TraceType::EventFired, i);
+  }
+  EXPECT_EQ(rec.capacity(), 8u);
+  EXPECT_EQ(rec.size(), 8u);
+  EXPECT_EQ(rec.recorded(), 20u);
+  EXPECT_EQ(rec.dropped(), 12u);
+  // Oldest retained event is #12, newest #19.
+  EXPECT_EQ(rec.at(0).a, 12u);
+  EXPECT_EQ(rec.at(7).a, 19u);
+  const auto snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].a, 12u + i);
+  }
+}
+
+TEST(TraceRecorder, ExportJsonlOneLinePerEvent) {
+  TraceRecorder rec(4);
+  rec.record(0.5, TraceType::PacketTx, 1, 2, 3.0);
+  rec.record(1.0, TraceType::EnergyBoot, 7);
+  std::ostringstream out;
+  rec.export_jsonl(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"type\":\"packet_tx\""), std::string::npos);
+  EXPECT_NE(s.find("\"type\":\"energy_boot\""), std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+}
+
+// Runs a randomized simulator workload (schedules, cancels, nested
+// schedules) with a probe attached and returns the trace.
+std::vector<TraceEvent> traced_run(std::uint64_t seed) {
+  Observability obs(1 << 12);
+  SimulatorProbe probe(obs);
+  sim::Simulator sim;
+  sim.set_observer(&probe);
+  Rng rng(seed);
+  std::vector<sim::EventHandle> ids;
+  for (int i = 0; i < 200; ++i) {
+    const double t = rng.uniform(0.0, 100.0);
+    ids.push_back(sim.schedule(t, [&sim, &rng] {
+      if (rng.bernoulli(0.3)) {
+        sim.schedule(rng.uniform(0.0, 5.0), [] {});
+      }
+    }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 7) sim.cancel(ids[i]);
+  sim.run();
+  return obs.trace().snapshot();
+}
+
+TEST(TraceDeterminism, SameSeedSameTrace) {
+  const auto t1 = traced_run(42);
+  const auto t2 = traced_run(42);
+  ASSERT_FALSE(t1.empty());
+  EXPECT_EQ(t1, t2);
+  // A different seed produces a different trace (sanity that the
+  // comparison is meaningful).
+  EXPECT_NE(t1, traced_run(43));
+}
+
+TEST(Report, WritesSchemaDocument) {
+  Observability obs(4);
+  obs.metrics().counter("sim.events.executed").inc(12.0);
+  obs.trace().record(1.0, TraceType::EventFired);
+  std::ostringstream out;
+  Report report("bench_x");
+  report.write(out, obs.metrics(), &obs.trace());
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"schema\":\"zeiot.obs.v1\""), std::string::npos);
+  EXPECT_NE(s.find("\"bench\":\"bench_x\""), std::string::npos);
+  EXPECT_NE(s.find("\"sim.events.executed\":12"), std::string::npos);
+  EXPECT_NE(s.find("\"recorded\":1"), std::string::npos);
+}
+
+TEST(ScopeTimer, NullSinkIsNoop) {
+  // Must not crash and must not record anything.
+  { ScopeTimer t(static_cast<RunningStats*>(nullptr)); }
+  RunningStats s;
+  { ScopeTimer t(&s); }
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+}  // namespace
+}  // namespace zeiot::obs

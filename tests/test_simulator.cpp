@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "obs/sim_probe.hpp"
+
 namespace zeiot::sim {
 namespace {
 
@@ -168,6 +170,38 @@ TEST(PeriodicTimer, RestartWorks) {
 TEST(PeriodicTimer, RejectsNonPositivePeriod) {
   Simulator sim;
   EXPECT_THROW(PeriodicTimer(sim, 0.0, [] {}), Error);
+}
+
+TEST(SimObserver, ExecutedCounterMatchesRunReturn) {
+  // The observer's events_executed counter and run()'s return value are
+  // two independent tallies of the same thing; they must agree even when
+  // cancelled events surface from the heap mid-run.
+  obs::Observability o;
+  obs::SimulatorProbe probe(o);
+  Simulator sim;
+  sim.set_observer(&probe);
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 50; ++i) {
+    handles.push_back(sim.schedule(static_cast<double>(i), [&sim] {
+      sim.schedule(0.5, [] {});
+    }));
+  }
+  for (std::size_t i = 0; i < handles.size(); i += 3) sim.cancel(handles[i]);
+  const std::size_t executed = sim.run();
+  EXPECT_DOUBLE_EQ(o.metrics().counter_value("sim.events.executed"),
+                   static_cast<double>(executed));
+  EXPECT_DOUBLE_EQ(o.metrics().counter_value("sim.events.cancelled"), 17.0);
+}
+
+TEST(SimObserver, RunWithLimitMatchesObserver) {
+  obs::Observability o;
+  obs::SimulatorProbe probe(o);
+  Simulator sim;
+  sim.set_observer(&probe);
+  for (int i = 0; i < 10; ++i) sim.schedule(1.0 + i, [] {});
+  const std::size_t executed = sim.run(4);
+  EXPECT_EQ(executed, 4u);
+  EXPECT_DOUBLE_EQ(o.metrics().counter_value("sim.events.executed"), 4.0);
 }
 
 TEST(PeriodicTimer, CanStopInsideCallback) {

@@ -101,6 +101,47 @@ TEST(Histogram, QuantileEmptyReturnsLow) {
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
 }
 
+TEST(Histogram, PercentileMatchesQuantile) {
+  Histogram h(0.0, 100.0, 100);
+  Rng rng(11);
+  for (int i = 0; i < 50000; ++i) h.add(rng.uniform(0.0, 100.0));
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), h.quantile(0.5));
+  EXPECT_DOUBLE_EQ(h.percentile(95.0), h.quantile(0.95));
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), h.quantile(0.99));
+  EXPECT_NEAR(h.percentile(50.0), 50.0, 2.0);
+  EXPECT_NEAR(h.percentile(95.0), 95.0, 2.0);
+}
+
+TEST(Histogram, PercentileBounds) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), h.quantile(1.0));
+  EXPECT_THROW(h.percentile(-1.0), Error);
+  EXPECT_THROW(h.percentile(100.5), Error);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+  a.add(1.0);
+  a.add(2.5);
+  b.add(2.5);
+  b.add(9.9);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.bin_count(1), 1u);
+  EXPECT_EQ(a.bin_count(2), 2u);
+  EXPECT_EQ(a.bin_count(9), 1u);
+}
+
+TEST(Histogram, MergeRejectsMismatchedBinning) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 5);
+  Histogram c(0.0, 20.0, 10);
+  EXPECT_THROW(a.merge(b), Error);
+  EXPECT_THROW(a.merge(c), Error);
+}
+
 TEST(Percentile, ExactValues) {
   std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
   EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
