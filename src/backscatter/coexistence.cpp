@@ -28,6 +28,24 @@ double CoexistenceSimulator::backscatter_airtime(std::size_t bytes) const {
   return bs_phy_.frame_airtime_s(bytes);
 }
 
+void CoexistenceSimulator::set_fault_injector(fault::FaultInjector* fault) {
+  fault_ = fault;
+  fault_driver_.reset();
+  if (fault_ != nullptr) {
+    fault_driver_ = std::make_unique<fault::FaultDriver>(sim_, *fault_);
+  }
+}
+
+bool CoexistenceSimulator::frame_faulted(double t, DeviceId dev) {
+  if (fault_ == nullptr) return false;
+  if (fault_->should_drop(t, dev, fault::kInfrastructure) ||
+      fault_->should_corrupt(t, dev, fault::kInfrastructure)) {
+    ++metrics_.frames_faulted;
+    return true;
+  }
+  return false;
+}
+
 void CoexistenceSimulator::set_observability(obs::Observability* obs) {
   obs_ = obs;
   if (obs_ != nullptr) {
@@ -58,6 +76,12 @@ void CoexistenceSimulator::schedule_device_cycle(std::size_t dev_index,
   sim_.schedule_at(at, [this, dev_index] {
     DeviceState& d = devices_[dev_index];
     const double now = sim_.now();
+    if (fault_ != nullptr && fault_->node_dead(now, d.id)) {
+      // A dead tag neither harvests nor registers this cycle.
+      ++metrics_.frames_suppressed;
+      schedule_device_cycle(dev_index, now + d.period_s);
+      return;
+    }
     ++metrics_.frames_generated;
     if (cfg_.mode == MacMode::Proposed) {
       scheduler_.enqueue({d.id, now, now + d.period_s});
@@ -98,6 +122,11 @@ void CoexistenceSimulator::try_start_wlan() {
   } else {
     naive_on_carrier(now, airtime);
     corrupted = last_carrier_corrupted_;
+  }
+  if (fault_ != nullptr && !corrupted &&
+      fault_->should_corrupt(now, fault::kInfrastructure,
+                             fault::kInfrastructure)) {
+    corrupted = true;  // injected interference on the WLAN exchange
   }
 
   const bool retry = is_retry;
@@ -144,7 +173,9 @@ bool CoexistenceSimulator::proposed_on_carrier(double start,
     channel_free_at_ += extension;
     dummy_airtime_ += extension;
   }
-  if (rng_.bernoulli(1.0 - cfg_.backscatter_noise_per)) {
+  if (!rng_.bernoulli(1.0 - cfg_.backscatter_noise_per)) {
+    ++metrics_.frames_collided;  // noise loss (counted as link failure)
+  } else if (!frame_faulted(start + tb, f->device)) {
     ++metrics_.frames_delivered;
     const double latency = start + tb - f->ready_at;
     latency_sum_ += latency;
@@ -153,8 +184,6 @@ bool CoexistenceSimulator::proposed_on_carrier(double start,
           .histogram("backscatter.latency_s", 0.0, cfg_.device_period_s, 50)
           .observe(latency);
     }
-  } else {
-    ++metrics_.frames_collided;  // noise loss (counted as link failure)
   }
   return true;
 }
@@ -191,7 +220,9 @@ void CoexistenceSimulator::proposed_check_deadlines() {
   }
   const PendingFrame frame = *f;
   sim_.schedule_at(channel_free_at_, [this, frame, tb] {
-    if (rng_.bernoulli(1.0 - cfg_.backscatter_noise_per)) {
+    if (!rng_.bernoulli(1.0 - cfg_.backscatter_noise_per)) {
+      ++metrics_.frames_collided;
+    } else if (!frame_faulted(sim_.now(), frame.device)) {
       ++metrics_.frames_delivered;
       const double latency = sim_.now() - frame.ready_at;
       latency_sum_ += latency;
@@ -200,8 +231,6 @@ void CoexistenceSimulator::proposed_check_deadlines() {
             .histogram("backscatter.latency_s", 0.0, cfg_.device_period_s, 50)
             .observe(latency);
       }
-    } else {
-      ++metrics_.frames_collided;
     }
     try_start_wlan();
   });
@@ -263,8 +292,11 @@ void CoexistenceSimulator::naive_on_carrier(double start,
   if (d.remaining_airtime_s <= 0.0) {
     const double finish = start + carrier_airtime + d.remaining_airtime_s;
     d.has_frame = false;
-    if (finish <= d.deadline &&
-        rng_.bernoulli(1.0 - cfg_.backscatter_noise_per)) {
+    if (finish > d.deadline) {
+      ++metrics_.frames_expired;
+    } else if (!rng_.bernoulli(1.0 - cfg_.backscatter_noise_per)) {
+      ++metrics_.frames_collided;  // noise loss
+    } else if (!frame_faulted(finish, d.id)) {
       ++metrics_.frames_delivered;
       const double latency = finish - d.ready_at;
       latency_sum_ += latency;
@@ -273,15 +305,12 @@ void CoexistenceSimulator::naive_on_carrier(double start,
             .histogram("backscatter.latency_s", 0.0, cfg_.device_period_s, 50)
             .observe(latency);
       }
-    } else if (finish > d.deadline) {
-      ++metrics_.frames_expired;
-    } else {
-      ++metrics_.frames_collided;  // noise loss
     }
   }
 }
 
 CoexistenceMetrics CoexistenceSimulator::run() {
+  if (fault_driver_ != nullptr) fault_driver_->arm();
   schedule_wlan_arrival();
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     // Stagger cycle phases uniformly.
@@ -315,6 +344,12 @@ CoexistenceMetrics CoexistenceSimulator::run() {
         .inc(static_cast<double>(metrics_.wlan_attempts));
     m.counter("backscatter.wlan.corrupted", mode)
         .inc(static_cast<double>(metrics_.wlan_corrupted));
+    if (fault_ != nullptr) {
+      m.counter("backscatter.frames.suppressed", mode)
+          .inc(static_cast<double>(metrics_.frames_suppressed));
+      m.counter("backscatter.frames.faulted", mode)
+          .inc(static_cast<double>(metrics_.frames_faulted));
+    }
     m.counter("backscatter.dummy.airtime_s").inc(dummy_airtime_);
     m.gauge("backscatter.delivery_ratio", mode)
         .set(metrics_.delivery_ratio());

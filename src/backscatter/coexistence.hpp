@@ -20,6 +20,7 @@
 
 #include "backscatter/bmac.hpp"
 #include "common/rng.hpp"
+#include "fault/injector.hpp"
 #include "mac/channel.hpp"
 #include "mac/traffic.hpp"
 #include "obs/sim_probe.hpp"
@@ -61,6 +62,9 @@ struct CoexistenceMetrics {
   std::size_t frames_delivered = 0;
   std::size_t frames_expired = 0;
   std::size_t frames_collided = 0;
+  // Injected-fault outcomes (zero without an injector).
+  std::size_t frames_suppressed = 0;  // cycles skipped: device was dead
+  std::size_t frames_faulted = 0;     // clean deliveries lost to drop/corrupt
   double mean_latency_s = 0.0;  // ready -> delivered, delivered frames only
   // WLAN side.
   std::size_t wlan_offered = 0;    // packet arrivals
@@ -97,6 +101,15 @@ class CoexistenceSimulator {
   /// MAC mode.  Must be called before `run()`.
   void set_observability(obs::Observability* obs);
 
+  /// Installs (or clears) a fault injector.  Dead devices skip their
+  /// acquisition cycles (frames_suppressed), successful backscatter
+  /// deliveries can be dropped or corrupted in flight (frames_faulted),
+  /// and WLAN packets can be corrupted by infrastructure-side windows.
+  /// The injector's plan is armed on the event kernel at `run()` so fault
+  /// transitions appear in the trace at their exact simulation time.
+  /// Must be called before `run()`; the injector must outlive it.
+  void set_fault_injector(fault::FaultInjector* fault);
+
   /// Runs the full scenario and returns the metrics.
   CoexistenceMetrics run();
 
@@ -121,6 +134,8 @@ class CoexistenceSimulator {
   void proposed_check_deadlines();
   void naive_on_carrier(double start, double carrier_airtime);
   double backscatter_airtime(std::size_t bytes) const;
+  /// Consults the injector (if any) about an in-flight backscatter frame.
+  bool frame_faulted(double t, DeviceId dev);
 
   CoexistenceConfig cfg_;
   sim::Simulator sim_;
@@ -139,6 +154,8 @@ class CoexistenceSimulator {
   double dummy_airtime_ = 0.0;
   obs::Observability* obs_ = nullptr;
   std::unique_ptr<obs::SimulatorProbe> probe_;
+  fault::FaultInjector* fault_ = nullptr;
+  std::unique_ptr<fault::FaultDriver> fault_driver_;
 };
 
 }  // namespace zeiot::backscatter

@@ -39,7 +39,8 @@ int draw_backoff(Rng& rng, const CsmaConfig& cfg, int retries) {
 }  // namespace
 
 CsmaMetrics simulate_csma(const CsmaConfig& cfg, std::size_t slots,
-                          obs::Observability* obs) {
+                          obs::Observability* obs,
+                          fault::FaultInjector* fault) {
   ZEIOT_CHECK_MSG(cfg.num_stations >= 1, "need stations");
   ZEIOT_CHECK_MSG(cfg.cw_min >= 2 && cfg.cw_max >= cfg.cw_min,
                   "invalid contention window");
@@ -64,9 +65,15 @@ CsmaMetrics simulate_csma(const CsmaConfig& cfg, std::size_t slots,
 
   std::size_t slot = 0;
   while (slot < slots) {
+    const double t_now = static_cast<double>(slot);
     // Arrivals (unsaturated mode).
     if (!cfg.saturated) {
-      for (auto& st : stations) {
+      for (std::size_t i = 0; i < stations.size(); ++i) {
+        Station& st = stations[i];
+        if (fault != nullptr &&
+            fault->node_dead(t_now, static_cast<std::uint32_t>(i))) {
+          continue;
+        }
         if (!st.has_frame && rng.bernoulli(cfg.arrival_per_slot)) {
           st.has_frame = true;
           st.retries = 0;
@@ -79,13 +86,24 @@ CsmaMetrics simulate_csma(const CsmaConfig& cfg, std::size_t slots,
     // Who transmits this slot?
     std::vector<std::size_t> ready;
     for (std::size_t i = 0; i < stations.size(); ++i) {
-      if (stations[i].has_frame && stations[i].backoff == 0) ready.push_back(i);
+      if (!stations[i].has_frame || stations[i].backoff != 0) continue;
+      if (fault != nullptr &&
+          fault->node_dead(t_now, static_cast<std::uint32_t>(i))) {
+        continue;  // dead station: frame frozen until revival
+      }
+      ready.push_back(i);
     }
 
     if (ready.empty()) {
-      // Idle slot: all counters tick down.
-      for (auto& st : stations) {
-        if (st.has_frame && st.backoff > 0) --st.backoff;
+      // Idle slot: all counters tick down (dead stations stay frozen).
+      for (std::size_t i = 0; i < stations.size(); ++i) {
+        Station& st = stations[i];
+        if (!st.has_frame || st.backoff == 0) continue;
+        if (fault != nullptr &&
+            fault->node_dead(t_now, static_cast<std::uint32_t>(i))) {
+          continue;
+        }
+        --st.backoff;
       }
       ++slot;
       continue;
@@ -98,17 +116,42 @@ CsmaMetrics simulate_csma(const CsmaConfig& cfg, std::size_t slots,
 
     if (ready.size() == 1) {
       Station& st = stations[ready.front()];
-      ++m.successes;
-      ++m.per_station_successes[ready.front()];
-      if (obs != nullptr) {
-        obs->trace().record(static_cast<double>(slot), obs::TraceType::PacketTx,
-                            static_cast<std::uint32_t>(ready.front()));
+      const auto sid = static_cast<std::uint32_t>(ready.front());
+      // An injected in-flight loss or corruption turns the clean win into a
+      // retry (the sender's ACK never arrives), honouring the retry limit.
+      bool faulted = false;
+      if (fault != nullptr) {
+        if (fault->should_drop(t_now, sid, fault::kInfrastructure)) {
+          ++m.fault_dropped;
+          faulted = true;
+        } else if (fault->should_corrupt(t_now, sid,
+                                         fault::kInfrastructure)) {
+          ++m.fault_corrupted;
+          faulted = true;
+        }
       }
-      delay_sum += static_cast<double>(slot - st.enqueued_at);
-      st.has_frame = cfg.saturated;
-      st.retries = 0;
-      st.backoff = draw_backoff(rng, cfg, 0);
-      st.enqueued_at = slot;
+      if (faulted) {
+        ++st.retries;
+        if (st.retries > cfg.max_retries) {
+          ++m.drops;
+          st.has_frame = cfg.saturated;
+          st.retries = 0;
+          st.enqueued_at = slot;
+        }
+        st.backoff = draw_backoff(rng, cfg, st.retries);
+      } else {
+        ++m.successes;
+        ++m.per_station_successes[ready.front()];
+        if (obs != nullptr) {
+          obs->trace().record(static_cast<double>(slot),
+                              obs::TraceType::PacketTx, sid);
+        }
+        delay_sum += static_cast<double>(slot - st.enqueued_at);
+        st.has_frame = cfg.saturated;
+        st.retries = 0;
+        st.backoff = draw_backoff(rng, cfg, 0);
+        st.enqueued_at = slot;
+      }
     } else {
       ++m.collisions;
       if (obs != nullptr) {
@@ -151,6 +194,12 @@ CsmaMetrics simulate_csma(const CsmaConfig& cfg, std::size_t slots,
     mreg.counter("mac.csma.collisions", labels)
         .inc(static_cast<double>(m.collisions));
     mreg.counter("mac.csma.drops", labels).inc(static_cast<double>(m.drops));
+    if (fault != nullptr) {
+      mreg.counter("mac.csma.fault_dropped", labels)
+          .inc(static_cast<double>(m.fault_dropped));
+      mreg.counter("mac.csma.fault_corrupted", labels)
+          .inc(static_cast<double>(m.fault_corrupted));
+    }
     mreg.counter("mac.csma.tx_opportunities", labels)
         .inc(static_cast<double>(tx_opportunities));
     mreg.gauge("mac.csma.throughput", labels).set(m.throughput);

@@ -116,6 +116,14 @@ double MicroDeepModel::evaluate_with_failures(const ml::Dataset& data,
   return evaluate(masked);
 }
 
+double MicroDeepModel::evaluate_under_plan(const ml::Dataset& data, double t,
+                                           CommCostReport* cost_after) {
+  ZEIOT_CHECK_MSG(cfg_.fault != nullptr,
+                  "evaluate_under_plan needs cfg.fault");
+  const std::vector<bool> dead = cfg_.fault->dead_mask(t, wsn_.num_nodes());
+  return evaluate_with_failures(data, dead, cost_after);
+}
+
 ml::Dataset mask_dead_inputs(const ml::Dataset& data, const UnitGraph& graph,
                              const WsnTopology& wsn,
                              const std::vector<bool>& dead) {

@@ -14,6 +14,7 @@
 
 #include <memory>
 
+#include "fault/injector.hpp"
 #include "microdeep/comm_cost.hpp"
 #include "ml/trainer.hpp"
 
@@ -36,6 +37,9 @@ struct MicroDeepConfig {
   /// outlive the model.  comm_cost() publishes the Fig. 8/10 gauges and
   /// train() records wall-time summaries into it.
   obs::Observability* obs = nullptr;
+  /// Optional fault injector (null = no faults).  Must outlive the model.
+  /// evaluate_under_plan() derives the dead-node set from its plan.
+  fault::FaultInjector* fault = nullptr;
 };
 
 /// Builds and owns the unit graph + assignment for an existing network and
@@ -70,6 +74,13 @@ class MicroDeepModel {
   double evaluate_with_failures(const ml::Dataset& data,
                                 const std::vector<bool>& dead,
                                 CommCostReport* cost_after = nullptr);
+
+  /// Snapshot of `evaluate_with_failures` under the configured injector's
+  /// plan: the dead-node set is the plan's death..revival spans active at
+  /// plan time `t` (cfg.fault must be non-null).  This is the accuracy
+  /// degradation probe the chaos benches sweep over fault intensity.
+  double evaluate_under_plan(const ml::Dataset& data, double t,
+                             CommCostReport* cost_after = nullptr);
 
  private:
   void install_grad_hook(ml::Trainer& trainer);

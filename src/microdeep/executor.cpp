@@ -1,7 +1,9 @@
 #include "microdeep/executor.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace zeiot::microdeep {
@@ -51,7 +53,9 @@ ExecutionResult execute_distributed(ml::Network& net, const UnitGraph& graph,
                                     const WsnTopology& wsn,
                                     const ml::Tensor& sample,
                                     const LatencyModel& lat,
-                                    obs::Observability* obs) {
+                                    obs::Observability* obs,
+                                    fault::FaultInjector* fault,
+                                    double fault_time) {
   ZEIOT_CHECK_MSG(sample.ndim() == 3, "sample must be (C,H,W)");
   const auto& layers = graph.layers();
   const UnitLayer& input = layers.front();
@@ -82,6 +86,30 @@ ExecutionResult execute_distributed(ml::Network& net, const UnitGraph& graph,
   // locally and published once so the hot loop stays map-free.
   std::vector<double> node_messages(obs != nullptr ? wsn.num_nodes() : 0, 0.0);
 
+  // Injected fault outcome per (producer unit, consumer node) message —
+  // cached with the same key as message_dedup so the injector RNG is
+  // consulted exactly once per physical message.
+  struct LinkFault {
+    bool lost = false;
+    double delay_s = 0.0;
+  };
+  std::unordered_map<std::uint64_t, LinkFault> link_faults;
+  auto link_fault = [&](UnitId src, UnitId dst) -> LinkFault {
+    if (fault == nullptr) return {};
+    const NodeId sn = assignment.node_of(src);
+    const NodeId dn = assignment.node_of(dst);
+    if (sn == dn) return {};
+    const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dn;
+    auto [it, inserted] = link_faults.try_emplace(key);
+    if (inserted) {
+      it->second.lost = fault->should_drop(fault_time, sn, dn) ||
+                        fault->should_corrupt(fault_time, sn, dn);
+      it->second.delay_s = fault->message_delay_s(fault_time, sn, dn);
+      if (it->second.lost) res.messages_faulted += 1.0;
+    }
+    return it->second;
+  };
+
   // The message arrival time of `src`'s activation at `dst`'s node, also
   // counting the (deduplicated) message.
   auto arrival = [&](UnitId src, UnitId dst) {
@@ -99,8 +127,10 @@ ExecutionResult execute_distributed(ml::Network& net, const UnitGraph& graph,
                             sn, dn, static_cast<double>(hops));
       }
     }
+    double extra = 0.0;
+    if (fault != nullptr) extra = link_fault(src, dst).delay_s;
     return units[src].ready_at +
-           lat.hop_latency_s * static_cast<double>(hops);
+           lat.hop_latency_s * static_cast<double>(hops) + extra;
   };
 
   // Walk the network layer by layer, mirroring UnitGraph::build's mapping.
@@ -156,15 +186,19 @@ ExecutionResult execute_distributed(ml::Network& net, const UnitGraph& graph,
             const int kx = sx - ox + p;
             ZEIOT_CHECK(ky >= 0 && ky < conv->kernel() && kx >= 0 &&
                         kx < conv->kernel());
-            for (int oc = 0; oc < out.channels; ++oc) {
-              float dot = 0.0f;
-              for (int ic = 0; ic < in.channels; ++ic) {
-                dot += w.at({oc, ic, ky, kx}) *
-                       units[src].act[static_cast<std::size_t>(ic)];
+            const bool lost = fault != nullptr && link_fault(src, u).lost;
+            if (!lost) {
+              for (int oc = 0; oc < out.channels; ++oc) {
+                float dot = 0.0f;
+                for (int ic = 0; ic < in.channels; ++ic) {
+                  dot += w.at({oc, ic, ky, kx}) *
+                         units[src].act[static_cast<std::size_t>(ic)];
+                }
+                acc[static_cast<std::size_t>(oc)] += dot;
               }
-              acc[static_cast<std::size_t>(oc)] += dot;
             }
-            latest = std::max(latest, arrival(src, u));
+            const double at = arrival(src, u);
+            if (!lost) latest = std::max(latest, at);
           }
           input_arrival[u] = latest;
         }
@@ -184,12 +218,23 @@ ExecutionResult execute_distributed(ml::Network& net, const UnitGraph& graph,
                 src >= in.first_unit + static_cast<UnitId>(in.num_units())) {
               continue;
             }
-            for (int c = 0; c < out.channels; ++c) {
-              acc[static_cast<std::size_t>(c)] =
-                  std::max(acc[static_cast<std::size_t>(c)],
-                           units[src].act[static_cast<std::size_t>(c)]);
+            const bool lost = fault != nullptr && link_fault(src, u).lost;
+            if (!lost) {
+              for (int c = 0; c < out.channels; ++c) {
+                acc[static_cast<std::size_t>(c)] =
+                    std::max(acc[static_cast<std::size_t>(c)],
+                             units[src].act[static_cast<std::size_t>(c)]);
+              }
             }
-            latest = std::max(latest, arrival(src, u));
+            const double at = arrival(src, u);
+            if (!lost) latest = std::max(latest, at);
+          }
+          if (fault != nullptr) {
+            // Every input lost: the receiver substitutes a neutral (zero)
+            // activation instead of propagating -inf.
+            for (float& v : acc) {
+              if (v == -std::numeric_limits<float>::infinity()) v = 0.0f;
+            }
           }
           input_arrival[u] = latest;
         }
@@ -204,15 +249,19 @@ ExecutionResult execute_distributed(ml::Network& net, const UnitGraph& graph,
         double latest = 0.0;
         for (int s = 0; s < in.num_units(); ++s) {
           const UnitId src = in.first_unit + static_cast<UnitId>(s);
-          // Flatten order is NCHW: feature index = ic*H*W + (y*W + x).
-          float dot = 0.0f;
-          for (int ic = 0; ic < in.channels; ++ic) {
-            const int feature = ic * in.num_units() + s;
-            dot += w.at({o, feature}) *
-                   units[src].act[static_cast<std::size_t>(ic)];
+          const bool lost = fault != nullptr && link_fault(src, u).lost;
+          if (!lost) {
+            // Flatten order is NCHW: feature index = ic*H*W + (y*W + x).
+            float dot = 0.0f;
+            for (int ic = 0; ic < in.channels; ++ic) {
+              const int feature = ic * in.num_units() + s;
+              dot += w.at({o, feature}) *
+                     units[src].act[static_cast<std::size_t>(ic)];
+            }
+            units[u].act[0] += dot;
           }
-          units[u].act[0] += dot;
-          latest = std::max(latest, arrival(src, u));
+          const double at = arrival(src, u);
+          if (!lost) latest = std::max(latest, at);
         }
         input_arrival[u] = latest;
       }
@@ -241,6 +290,9 @@ ExecutionResult execute_distributed(ml::Network& net, const UnitGraph& graph,
   if (obs != nullptr) {
     auto& m = obs->metrics();
     m.counter("microdeep.exec.messages").inc(res.total_messages);
+    if (fault != nullptr) {
+      m.counter("microdeep.exec.messages_faulted").inc(res.messages_faulted);
+    }
     m.summary("microdeep.exec.latency_s").observe(res.inference_latency_s);
     double peak = 0.0;
     for (NodeId n = 0; n < node_messages.size(); ++n) {

@@ -15,6 +15,7 @@
 //     on peak traffic.
 #pragma once
 
+#include "fault/injector.hpp"
 #include "microdeep/assignment.hpp"
 #include "ml/network.hpp"
 #include "obs/obs.hpp"
@@ -38,6 +39,9 @@ struct ExecutionResult {
   /// Cross-node activation messages of the forward pass (deduplicated per
   /// (producer unit, consumer node), unicast accounting).
   double total_messages = 0.0;
+  /// Of those, messages lost to injected drop/corrupt windows (the
+  /// receivers substituted missing data).  Zero without an injector.
+  double messages_faulted = 0.0;
 };
 
 /// Executes one (C,H,W) sample through `net` using only the unit-graph
@@ -50,11 +54,22 @@ struct ExecutionResult {
 /// (microdeep.exec.latency_s) and one MicroDeepHop trace event per
 /// cross-node message (a = source node, b = destination node, value = hop
 /// count).
+///
+/// When `fault` is non-null each cross-node message is checked once against
+/// the injector at plan time `fault_time` (the simulation instant of this
+/// inference): a dropped or corrupted message contributes nothing at the
+/// consumer (missing-data semantics, mirroring mask_dead_inputs), and
+/// MessageDelay windows stretch the per-hop latency.  The decision is
+/// cached per (producer unit, consumer node) so every consumer on one node
+/// sees the same outcome, exactly like the message itself is deduplicated.
+/// With a null injector the result is bit-identical to the un-faulted path.
 ExecutionResult execute_distributed(ml::Network& net, const UnitGraph& graph,
                                     const Assignment& assignment,
                                     const WsnTopology& wsn,
                                     const ml::Tensor& sample,
                                     const LatencyModel& lat = {},
-                                    obs::Observability* obs = nullptr);
+                                    obs::Observability* obs = nullptr,
+                                    fault::FaultInjector* fault = nullptr,
+                                    double fault_time = 0.0);
 
 }  // namespace zeiot::microdeep

@@ -94,6 +94,10 @@ void load_weights(Network& net, std::istream& is) {
     }
   }
   ZEIOT_CHECK_MSG(is.good(), "weight stream read failed");
+  // Strict framing: the stream must end exactly at the last tensor value.
+  // Trailing bytes mean the payload does not belong to this architecture.
+  is.peek();
+  ZEIOT_CHECK_MSG(is.eof(), "trailing bytes after weight stream");
 }
 
 void load_weights(Network& net, const std::string& path) {

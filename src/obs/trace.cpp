@@ -20,6 +20,8 @@ const char* trace_type_name(TraceType type) {
     case TraceType::EnergyHarvest: return "energy_harvest";
     case TraceType::EnergyBoot: return "energy_boot";
     case TraceType::EnergyBrownout: return "energy_brownout";
+    case TraceType::FaultInjected: return "fault_injected";
+    case TraceType::InvariantViolation: return "invariant_violation";
   }
   return "unknown";
 }
@@ -54,6 +56,30 @@ void TraceRecorder::clear() {
   next_ = 0;
   count_ = 0;
   recorded_ = 0;
+}
+
+std::uint64_t TraceRecorder::digest() const {
+  const auto mix = [](std::uint64_t& h, std::uint64_t word) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (word >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  const auto bits = [](double d) {
+    std::uint64_t u;
+    __builtin_memcpy(&u, &d, sizeof(u));
+    return u;
+  };
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < count_; ++i) {
+    const TraceEvent& e = at(i);
+    mix(h, bits(e.t));
+    mix(h, static_cast<std::uint64_t>(e.type));
+    mix(h, e.a);
+    mix(h, e.b);
+    mix(h, bits(e.value));
+  }
+  return h;
 }
 
 void TraceRecorder::export_jsonl(std::ostream& out) const {

@@ -35,6 +35,10 @@ enum class TraceType : std::uint8_t {
   EnergyHarvest,
   EnergyBoot,
   EnergyBrownout,
+  // Fault injection (a = target, b = fault::FaultType, value = magnitude).
+  FaultInjected,
+  // Invariant checking (a = cumulative violation count).
+  InvariantViolation,
 };
 
 /// Stable lowercase name used in JSONL exports.
@@ -81,6 +85,12 @@ class TraceRecorder {
   /// Writes one JSON object per line: {"t":..,"type":"..","a":..,"b":..,
   /// "v":..}.
   void export_jsonl(std::ostream& out) const;
+
+  /// FNV-1a digest over the retained events (bit-exact field encoding).
+  /// Two same-seed runs of a deterministic experiment must produce equal
+  /// digests — the reproducibility handle of the golden-trace test and the
+  /// chaos benches.
+  std::uint64_t digest() const;
 
  private:
   std::vector<TraceEvent> buf_;

@@ -48,6 +48,7 @@ bool Simulator::pop_and_run() {
   now_ = ev->time;
   if (observer_ == nullptr) {
     ev->cb();
+    if (post_step_hook_) post_step_hook_(ev->time);
     return true;
   }
   // Wall-clock timing of the callback only happens when observed, so the
@@ -57,6 +58,7 @@ bool Simulator::pop_and_run() {
   const std::chrono::duration<double> wall =
       std::chrono::steady_clock::now() - start;
   observer_->on_executed(ev->time, ev->seq, live_ids_.size(), wall.count());
+  if (post_step_hook_) post_step_hook_(ev->time);
   return true;
 }
 

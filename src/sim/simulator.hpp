@@ -93,6 +93,17 @@ class Simulator {
   void set_observer(SimObserver* observer) { observer_ = observer; }
   SimObserver* observer() const { return observer_; }
 
+  /// Installs (or clears, with {}) a hook run after each executed event's
+  /// callback, at the event's timestamp.  This is the step-boundary seam
+  /// the fault layer's InvariantChecker attaches to; install a wrapper that
+  /// calls the previous hook to chain.  Null hook costs one test per event.
+  void set_post_step_hook(std::function<void(Time)> hook) {
+    post_step_hook_ = std::move(hook);
+  }
+  const std::function<void(Time)>& post_step_hook() const {
+    return post_step_hook_;
+  }
+
  private:
   struct Event {
     Time time;
@@ -120,6 +131,7 @@ class Simulator {
   std::priority_queue<Event*, std::vector<Event*>, Order> heap_;
   std::unordered_set<std::uint64_t> live_ids_;
   SimObserver* observer_ = nullptr;
+  std::function<void(Time)> post_step_hook_;
 };
 
 /// Repeating timer helper: reschedules itself every `period` until stopped.

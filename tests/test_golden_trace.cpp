@@ -1,0 +1,143 @@
+// Golden-trace regression: a fixed-seed end-to-end scenario (backscatter
+// coexistence under fault injection + a distributed MicroDeep inference)
+// exports its event trace as JSONL and must match the checked-in snapshot
+// byte for byte.  Any behavioral drift — event reordering, RNG stream
+// changes, altered fault schedules — shows up as a first-divergence diff.
+//
+// To regenerate after an *intentional* behavior change:
+//   ZEIOT_UPDATE_GOLDEN=1 ./build/tests/test_golden_trace
+// then commit the updated tests/golden/e2e_trace.jsonl with the change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "backscatter/coexistence.hpp"
+#include "fault/injector.hpp"
+#include "microdeep/executor.hpp"
+
+namespace zeiot {
+namespace {
+
+constexpr const char* kGoldenPath = ZEIOT_GOLDEN_DIR "/e2e_trace.jsonl";
+
+// The scenario is deliberately small (a few thousand events) so the golden
+// file stays reviewable, but crosses every traced subsystem: sim kernel,
+// backscatter MAC, WLAN, fault injection, and MicroDeep hops.
+void run_scenario(obs::Observability& obs) {
+  // Phase 1: coexistence under chaos.
+  backscatter::CoexistenceConfig cfg;
+  cfg.mode = backscatter::MacMode::Proposed;
+  cfg.duration_s = 8.0;
+  cfg.wlan_rate_hz = 20.0;
+  cfg.num_devices = 4;
+  cfg.device_period_s = 1.0;
+  cfg.seed = 21;
+
+  fault::FaultSpec spec;
+  spec.horizon_s = 8.0;
+  spec.num_targets = 4;
+  spec.intensity = 1.0;
+  spec.node_death_rate = 2.0;
+  spec.mean_downtime_s = 3.0;
+  spec.drop_rate = 2.0;
+  spec.drop_window_s = 2.0;
+  spec.drop_probability = 0.5;
+  spec.seed = 99;
+  fault::FaultInjector inj(fault::generate_plan(spec));
+  inj.set_observability(&obs);
+
+  backscatter::CoexistenceSimulator sim(cfg);
+  sim.set_observability(&obs);
+  sim.set_fault_injector(&inj);
+  (void)sim.run();
+
+  // Phase 2: one distributed inference over a planned grid.
+  Rng rng(5);
+  ml::Network net;
+  net.emplace<ml::Conv2D>(1, 3, 3, 1, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::MaxPool2D>(2);
+  net.emplace<ml::Flatten>();
+  net.emplace<ml::Dense>(3 * 4 * 4, 6, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::Dense>(6, 2, rng);
+
+  const Rect area{0.0, 0.0, 10.0, 10.0};
+  const auto wsn = microdeep::WsnTopology::grid(area, 4, 4);
+  const auto graph = microdeep::UnitGraph::build(net, {1, 8, 8});
+  const auto assignment = microdeep::assign_balanced_heuristic(graph, wsn);
+  ml::Tensor sample({1, 8, 8});
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    sample[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  (void)microdeep::execute_distributed(net, graph, assignment, wsn, sample,
+                                       {}, &obs);
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string render_scenario_jsonl() {
+  obs::Observability obs(1u << 16);  // headroom: the trace must not wrap
+  run_scenario(obs);
+  EXPECT_EQ(obs.trace().dropped(), 0u)
+      << "golden scenario overflowed the trace buffer; raise capacity";
+  std::ostringstream out;
+  obs.trace().export_jsonl(out);
+  return out.str();
+}
+
+TEST(GoldenTrace, ScenarioIsDeterministicInProcess) {
+  obs::Observability a(1u << 16), b(1u << 16);
+  run_scenario(a);
+  run_scenario(b);
+  ASSERT_EQ(a.trace().size(), b.trace().size());
+  EXPECT_EQ(a.trace().digest(), b.trace().digest());
+}
+
+TEST(GoldenTrace, MatchesCheckedInSnapshot) {
+  const std::string actual_text = render_scenario_jsonl();
+
+  if (std::getenv("ZEIOT_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(out.is_open()) << "cannot write " << kGoldenPath;
+    out << actual_text;
+    GTEST_SKIP() << "golden file regenerated at " << kGoldenPath
+                 << " — review and commit it";
+  }
+
+  std::ifstream in(kGoldenPath, std::ios::binary);
+  ASSERT_TRUE(in.is_open())
+      << "missing golden file " << kGoldenPath
+      << "; regenerate with ZEIOT_UPDATE_GOLDEN=1";
+  std::ostringstream golden_buf;
+  golden_buf << in.rdbuf();
+
+  const std::vector<std::string> expected = split_lines(golden_buf.str());
+  const std::vector<std::string> actual = split_lines(actual_text);
+
+  const std::size_t common = std::min(expected.size(), actual.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    ASSERT_EQ(expected[i], actual[i])
+        << "trace diverges at line " << (i + 1) << " of " << expected.size()
+        << "\n  golden: " << expected[i] << "\n  actual: " << actual[i]
+        << "\nIf the change is intentional, regenerate with "
+           "ZEIOT_UPDATE_GOLDEN=1 and commit the new snapshot.";
+  }
+  ASSERT_EQ(expected.size(), actual.size())
+      << "trace length changed (golden " << expected.size() << " lines, run "
+      << actual.size() << " lines); first " << common << " lines match. "
+      << "Regenerate with ZEIOT_UPDATE_GOLDEN=1 if intentional.";
+}
+
+}  // namespace
+}  // namespace zeiot

@@ -173,6 +173,98 @@ TEST_P(MicroDeepPropertyTest, FailureMigrationPreservesUnitCount) {
   EXPECT_GE(r.total_messages, 0.0);
 }
 
+// --- Randomized layouts + CNN shapes -------------------------------------
+// Property sweep over seeded random deployments and network shapes: the
+// assignment invariants must hold for *every* draw, not just the fixtures
+// above.  Failures print the seed, which reproduces the exact case.
+
+struct RandomScenario {
+  WsnTopology wsn;
+  ml::Network net;
+  UnitGraph graph;
+  std::vector<int> input_shape;
+};
+
+RandomScenario make_random_scenario(std::uint64_t seed) {
+  // Drawn from the paper's sensing regime: a *planned* (jittered-grid)
+  // sensor field — the lounge deployment is instrumented, not scattered —
+  // feeding a sizable input plane, where delivering raw readings to one
+  // sink is the dominant traffic term (Sec. III / Fig. 10).
+  Rng rng(seed);
+  const int grid = 10 + 2 * static_cast<int>(rng.uniform_int(0, 2));  // 10/12/14
+  const int in_ch = 1 + static_cast<int>(rng.uniform_int(0, 1));
+  const int conv_ch = 2 + static_cast<int>(rng.uniform_int(0, 1));
+  const int hidden = 4 + static_cast<int>(rng.uniform_int(0, 4));
+  const int classes = 2 + static_cast<int>(rng.uniform_int(0, 1));
+  const int rows = 5 + static_cast<int>(rng.uniform_int(0, 3));
+  const int cols = 5 + static_cast<int>(rng.uniform_int(0, 3));
+
+  ml::Network net;
+  net.emplace<ml::Conv2D>(in_ch, conv_ch, 3, 1, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::MaxPool2D>(2);
+  net.emplace<ml::Flatten>();
+  net.emplace<ml::Dense>(conv_ch * (grid / 2) * (grid / 2), hidden, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::Dense>(hidden, classes, rng);
+
+  WsnTopology wsn = WsnTopology::jittered_grid(kArea, rows, cols, rng);
+  UnitGraph graph = UnitGraph::build(net, {in_ch, grid, grid});
+  return {std::move(wsn), std::move(net), std::move(graph),
+          {in_ch, grid, grid}};
+}
+
+constexpr std::uint64_t kRandomSeeds[] = {101, 202, 303, 404, 505,
+                                          606, 707, 808};
+
+TEST(AssignmentRandomized, EveryUnitAssignedExactlyOnce) {
+  for (const std::uint64_t seed : kRandomSeeds) {
+    const auto sc = make_random_scenario(seed);
+    for (const Assignment& a :
+         {assign_nearest(sc.graph, sc.wsn),
+          assign_balanced_heuristic(sc.graph, sc.wsn),
+          assign_centralized(sc.graph, sc.wsn, 0)}) {
+      std::size_t total = 0;
+      for (const std::size_t c : a.units_per_node(sc.wsn.num_nodes())) {
+        total += c;
+      }
+      EXPECT_EQ(total, sc.graph.num_units()) << "seed " << seed;
+      for (UnitId u = 0; u < sc.graph.num_units(); ++u) {
+        ASSERT_LT(a.node_of(u), sc.wsn.num_nodes())
+            << "seed " << seed << " unit " << u;
+      }
+    }
+  }
+}
+
+TEST(AssignmentRandomized, HeuristicPeakCostNeverExceedsNaiveSink) {
+  // The balanced heuristic exists to beat the naive everything-to-the-sink
+  // deployment on peak per-node traffic (paper Fig. 10); that ordering
+  // must hold on every random layout.
+  for (const std::uint64_t seed : kRandomSeeds) {
+    const auto sc = make_random_scenario(seed);
+    const auto naive = compute_comm_cost(
+        assign_centralized(sc.graph, sc.wsn, 0), sc.wsn);
+    const auto smart = compute_comm_cost(
+        assign_balanced_heuristic(sc.graph, sc.wsn), sc.wsn);
+    EXPECT_LE(smart.max_cost, naive.max_cost + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(AssignmentRandomized, PipelineIsDeterministicForFixedSeed) {
+  for (const std::uint64_t seed : kRandomSeeds) {
+    const auto a = make_random_scenario(seed);
+    const auto b = make_random_scenario(seed);
+    ASSERT_EQ(a.graph.num_units(), b.graph.num_units()) << "seed " << seed;
+    const Assignment ha = assign_balanced_heuristic(a.graph, a.wsn);
+    const Assignment hb = assign_balanced_heuristic(b.graph, b.wsn);
+    for (UnitId u = 0; u < a.graph.num_units(); ++u) {
+      ASSERT_EQ(ha.node_of(u), hb.node_of(u))
+          << "seed " << seed << " diverged at unit " << u;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllCombos, MicroDeepPropertyTest,
     ::testing::Values(Combo{Deploy::Grid, Assign::Centralized},
