@@ -7,6 +7,8 @@
 // for why *scheduled* access (the collection scheduler, the backscatter
 // B-MAC) is needed once fleets grow.
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "bench_report.hpp"
 #include "common/table.hpp"
@@ -20,12 +22,17 @@ int main() {
   obs::Observability obs;
   Table t({"stations", "throughput", "collision prob", "mean delay (slots)",
            "drops", "Jain fairness"});
-  for (std::size_t n : {1u, 2u, 5u, 10u, 20u, 40u, 80u}) {
-    CsmaConfig cfg;
-    cfg.num_stations = n;
-    cfg.seed = 7;
-    const auto m = simulate_csma(cfg, 600000, &obs);
-    t.add_row({std::to_string(n), Table::pct(m.throughput),
+  const std::vector<std::size_t> populations{1, 2, 5, 10, 20, 40, 80};
+  const auto sat = bench::parallel_sweep(
+      populations.size(), obs, [&](std::size_t i, obs::Observability& pobs) {
+        CsmaConfig cfg;
+        cfg.num_stations = populations[i];
+        cfg.seed = 7;
+        return simulate_csma(cfg, 600000, &pobs);
+      });
+  for (std::size_t i = 0; i < populations.size(); ++i) {
+    const auto& m = sat[i];
+    t.add_row({std::to_string(populations[i]), Table::pct(m.throughput),
                Table::pct(m.collision_probability),
                Table::num(m.mean_access_delay_slots, 0),
                std::to_string(m.drops), Table::num(m.jain_fairness(), 3)});
@@ -34,18 +41,23 @@ int main() {
 
   std::cout << "\n--- unsaturated low-rate IoT reporting ---\n";
   Table t2({"stations", "arrival/slot", "throughput", "collision prob"});
+  std::vector<std::pair<std::size_t, double>> grid;
   for (std::size_t n : {10u, 50u, 200u}) {
-    for (double a : {0.0002, 0.001}) {
-      CsmaConfig cfg;
-      cfg.num_stations = n;
-      cfg.saturated = false;
-      cfg.arrival_per_slot = a;
-      cfg.seed = 7;
-      const auto m = simulate_csma(cfg, 600000, &obs);
-      t2.add_row({std::to_string(n), Table::num(a, 4),
-                  Table::pct(m.throughput),
-                  Table::pct(m.collision_probability)});
-    }
+    for (double a : {0.0002, 0.001}) grid.emplace_back(n, a);
+  }
+  const auto unsat = bench::parallel_sweep(
+      grid.size(), obs, [&](std::size_t i, obs::Observability& pobs) {
+        CsmaConfig cfg;
+        cfg.num_stations = grid[i].first;
+        cfg.saturated = false;
+        cfg.arrival_per_slot = grid[i].second;
+        cfg.seed = 7;
+        return simulate_csma(cfg, 600000, &pobs);
+      });
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    t2.add_row({std::to_string(grid[i].first), Table::num(grid[i].second, 4),
+                Table::pct(unsat[i].throughput),
+                Table::pct(unsat[i].collision_probability)});
   }
   t2.print(std::cout);
   std::cout << "takeaway: contention collapses under scale — the motivation "

@@ -11,6 +11,8 @@
 // device simulation comparing achievable duty cycles.
 #include <iostream>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "bench_report.hpp"
 #include "common/table.hpp"
@@ -122,25 +124,34 @@ int main() {
                "---\n";
   Table t5({"harvest (uW)", "policy", "chains completed", "mean latency (s)",
             "tasks re-executed", "checkpoint energy (uJ)"});
+  std::vector<std::pair<double, bool>> combos;
   for (double harvest_uw : {15.0, 40.0, 120.0}) {
     for (const bool checkpointed : {true, false}) {
-      energy::IntermittentDevice dev(
-          std::make_unique<energy::ConstantHarvester>(harvest_uw * 1e-6),
-          energy::Capacitor(2.4e-6, 3.2), energy::HysteresisSwitch(3.0, 2.0));
-      energy::IntermittentRunConfig rcfg;
-      rcfg.policy = checkpointed ? energy::CheckpointPolicy::EveryTask
-                                 : energy::CheckpointPolicy::None;
-      rcfg.chain_timeout_s = 30.0;
-      const auto ws = energy::run_workload(
-          dev, energy::default_context_chain(), rcfg, 60.0, 20);
-      t5.add_row({Table::num(harvest_uw, 0),
-                  checkpointed ? "checkpoint" : "volatile",
-                  std::to_string(ws.chains_completed) + "/20",
-                  ws.chains_completed > 0 ? Table::num(ws.mean_completion_s, 2)
-                                          : "-",
-                  Table::num(ws.total_reexecutions, 0),
-                  Table::num(ws.checkpoint_overhead_j * 1e6, 1)});
+      combos.emplace_back(harvest_uw, checkpointed);
     }
+  }
+  const auto sweep = bench::parallel_sweep(
+      combos.size(), obs, [&](std::size_t i, obs::Observability&) {
+        energy::IntermittentDevice dev(
+            std::make_unique<energy::ConstantHarvester>(combos[i].first * 1e-6),
+            energy::Capacitor(2.4e-6, 3.2),
+            energy::HysteresisSwitch(3.0, 2.0));
+        energy::IntermittentRunConfig rcfg;
+        rcfg.policy = combos[i].second ? energy::CheckpointPolicy::EveryTask
+                                       : energy::CheckpointPolicy::None;
+        rcfg.chain_timeout_s = 30.0;
+        return energy::run_workload(dev, energy::default_context_chain(), rcfg,
+                                    60.0, 20);
+      });
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    const auto& ws = sweep[i];
+    t5.add_row({Table::num(combos[i].first, 0),
+                combos[i].second ? "checkpoint" : "volatile",
+                std::to_string(ws.chains_completed) + "/20",
+                ws.chains_completed > 0 ? Table::num(ws.mean_completion_s, 2)
+                                        : "-",
+                Table::num(ws.total_reexecutions, 0),
+                Table::num(ws.checkpoint_overhead_j * 1e6, 1)});
   }
   t5.print(std::cout);
   std::cout << "takeaway: near the single-burst energy budget, volatile "

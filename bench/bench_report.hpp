@@ -16,14 +16,45 @@
 // two runs of the same binary differ only in wall-time summaries.
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "mac/csma.hpp"
 #include "obs/report.hpp"
 #include "obs/sim_probe.hpp"
+#include "par/parallel.hpp"
 #include "sim/simulator.hpp"
 
 namespace zeiot::bench {
+
+/// Runs `fn(i, point_obs)` for sweep points 0..points-1 on the worker pool.
+/// Each point records into a private Observability; after the sweep the
+/// per-point registries are merged into `obs` in point order, so the final
+/// `<bench>.metrics.json` is byte-identical at any ZEIOT_THREADS value.
+/// Returns the per-point results in point order.
+template <typename Fn>
+auto parallel_sweep(std::size_t points, obs::Observability& obs, Fn&& fn,
+                    par::ThreadPool* pool = nullptr) {
+  using T = decltype(fn(std::size_t{0}, obs));
+  std::vector<std::unique_ptr<obs::Observability>> per(points);
+  std::vector<std::optional<T>> out(points);
+  par::parallel_for(
+      points,
+      [&](std::size_t i) {
+        per[i] = std::make_unique<obs::Observability>();
+        out[i].emplace(fn(i, *per[i]));
+      },
+      pool, /*grain=*/1);
+  std::vector<T> results;
+  results.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    obs.metrics().merge(per[i]->metrics());
+    results.push_back(std::move(*out[i]));
+  }
+  return results;
+}
 
 inline void run_calibration_probes(obs::Observability& obs) {
   obs::SimulatorProbe probe(obs);

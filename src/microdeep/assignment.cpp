@@ -104,15 +104,44 @@ Assignment assign_nearest(const UnitGraph& graph, const WsnTopology& wsn) {
   return Assignment(&graph, std::move(map));
 }
 
-Assignment assign_balanced_heuristic(const UnitGraph& graph,
-                                     const WsnTopology& wsn,
-                                     int balance_slack) {
-  ZEIOT_CHECK_MSG(balance_slack >= 0, "balance slack must be >= 0");
+std::vector<NodeId> nearest_seed_map(const UnitGraph& graph,
+                                     const WsnTopology& wsn) {
   std::vector<NodeId> map(graph.num_units());
   for (UnitId u = 0; u < graph.num_units(); ++u) {
     map[u] = wsn.nearest_node(graph.position(u, wsn.area()));
   }
+  return map;
+}
+
+Assignment assign_balanced_heuristic(const UnitGraph& graph,
+                                     const WsnTopology& wsn,
+                                     int balance_slack) {
+  return assign_balanced_heuristic_from(graph, wsn,
+                                        nearest_seed_map(graph, wsn),
+                                        balance_slack);
+}
+
+Assignment assign_balanced_heuristic_from(const UnitGraph& graph,
+                                          const WsnTopology& wsn,
+                                          std::vector<NodeId> seed_map,
+                                          int balance_slack) {
+  ZEIOT_CHECK_MSG(balance_slack >= 0, "balance slack must be >= 0");
+  ZEIOT_CHECK_MSG(seed_map.size() == graph.num_units(),
+                  "seed map size mismatch");
+  std::vector<NodeId> map = std::move(seed_map);
   const std::size_t num_nodes = wsn.num_nodes();
+  for (NodeId n : map) {
+    ZEIOT_CHECK_MSG(n < num_nodes, "seed map references unknown node");
+  }
+  // Input units are always owned by the node that senses them; override
+  // whatever the seed said.
+  {
+    const UnitLayer& input = graph.layers().front();
+    for (int i = 0; i < input.num_units(); ++i) {
+      const UnitId u = input.first_unit + static_cast<UnitId>(i);
+      map[u] = wsn.nearest_node(graph.position(u, wsn.area()));
+    }
+  }
   std::vector<std::size_t> load(num_nodes, 0);
   for (NodeId n : map) ++load[n];
   const std::size_t target =

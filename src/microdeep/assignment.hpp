@@ -62,4 +62,19 @@ Assignment assign_balanced_heuristic(const UnitGraph& graph,
                                      const WsnTopology& wsn,
                                      int balance_slack = 1);
 
+/// The same balance-and-drain heuristic, but started from a caller-supplied
+/// seed placement instead of the geometric one — the assignment search uses
+/// jittered seeds for its restarts, sharing one precomputed geometric map
+/// across all candidates.  Input units are re-pinned to their sensing node
+/// regardless of the seed.  `seed_map` must have one entry per unit.
+Assignment assign_balanced_heuristic_from(const UnitGraph& graph,
+                                          const WsnTopology& wsn,
+                                          std::vector<NodeId> seed_map,
+                                          int balance_slack = 1);
+
+/// Geometric unit->node seed map (each unit to its nearest node) — the
+/// shared starting point for heuristic variants and search restarts.
+std::vector<NodeId> nearest_seed_map(const UnitGraph& graph,
+                                     const WsnTopology& wsn);
+
 }  // namespace zeiot::microdeep

@@ -26,6 +26,14 @@ MicroDeepModel::MicroDeepModel(ml::Network& net, const WsnTopology& wsn,
       assignment_ = std::make_unique<Assignment>(
           assign_balanced_heuristic(graph_, wsn_));
       break;
+    case AssignmentKind::SearchBest: {
+      AssignmentSearchOptions so = cfg_.search_options;
+      so.cost_options = cfg_.cost_options;
+      if (so.pool == nullptr) so.pool = cfg_.pool;
+      assignment_ = std::make_unique<Assignment>(
+          search_assignment(graph_, wsn_, so, cfg_.obs).best);
+      break;
+    }
   }
   // Cross-node fraction for every parameterised network layer.
   layer_cross_fraction_.assign(net_.num_layers(), 0.0);
@@ -81,7 +89,7 @@ ml::TrainHistory MicroDeepModel::train(const ml::Dataset& train,
                                        const ml::Dataset& val,
                                        const ml::TrainConfig& tcfg,
                                        ml::Optimizer& opt) {
-  ml::Trainer trainer(net_, opt, rng_.split(1));
+  ml::Trainer trainer(net_, opt, rng_.split(1), cfg_.pool);
   install_grad_hook(trainer);
   obs::ScopeTimer timer(cfg_.obs != nullptr
                             ? &cfg_.obs->metrics()
@@ -99,7 +107,7 @@ ml::TrainHistory MicroDeepModel::train(const ml::Dataset& train,
 double MicroDeepModel::evaluate(const ml::Dataset& data) {
   // Evaluation does not need an optimizer step; reuse a throwaway SGD.
   ml::Sgd opt(1e-3);
-  ml::Trainer trainer(net_, opt, rng_.split(2));
+  ml::Trainer trainer(net_, opt, rng_.split(2), cfg_.pool);
   return trainer.evaluate(data);
 }
 

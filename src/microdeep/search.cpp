@@ -1,0 +1,130 @@
+#include "microdeep/search.hpp"
+
+#include <optional>
+#include <utility>
+
+#include "par/parallel.hpp"
+
+namespace zeiot::microdeep {
+
+namespace {
+
+/// One entry in the fixed candidate schedule.
+struct CandidateSpec {
+  std::string label;
+  int slack = 0;        // balance slack for the heuristic
+  bool nearest = false; // plain geometric assignment, no draining
+  bool jitter = false;  // perturb the seed map with this candidate's stream
+};
+
+std::vector<CandidateSpec> make_schedule(const AssignmentSearchOptions& opts) {
+  std::vector<CandidateSpec> specs;
+  if (opts.include_nearest) {
+    specs.push_back({"nearest", 0, /*nearest=*/true, /*jitter=*/false});
+  }
+  for (int s = 0; s <= opts.max_balance_slack; ++s) {
+    specs.push_back({"heuristic/slack=" + std::to_string(s), s,
+                     /*nearest=*/false, /*jitter=*/false});
+  }
+  for (int r = 0; r < opts.random_restarts; ++r) {
+    // Restarts cycle through the slack levels so the jittered seeds explore
+    // the same knob range as the deterministic sweep.
+    const int s = opts.max_balance_slack > 0 ? r % (opts.max_balance_slack + 1)
+                                             : 0;
+    specs.push_back({"restart/" + std::to_string(r) +
+                         "/slack=" + std::to_string(s),
+                     s, /*nearest=*/false, /*jitter=*/true});
+  }
+  return specs;
+}
+
+}  // namespace
+
+AssignmentSearchResult search_assignment(const UnitGraph& graph,
+                                         const WsnTopology& wsn,
+                                         const AssignmentSearchOptions& opts,
+                                         obs::Observability* obs) {
+  ZEIOT_CHECK_MSG(opts.max_balance_slack >= 0,
+                  "max_balance_slack must be >= 0");
+  ZEIOT_CHECK_MSG(opts.random_restarts >= 0, "random_restarts must be >= 0");
+  ZEIOT_CHECK_MSG(opts.jitter_probability >= 0.0 &&
+                      opts.jitter_probability <= 1.0,
+                  "jitter_probability must be in [0, 1]");
+  const auto specs = make_schedule(opts);
+  ZEIOT_CHECK_MSG(!specs.empty(), "search has no candidates");
+
+  // Shared read-only state, computed once: the geometric seed map (every
+  // candidate starts from it) and the WSN routing tables (memoized in
+  // WsnTopology at construction — compute_comm_cost only does table
+  // lookups, so concurrent scoring never re-runs BFS).
+  const std::vector<NodeId> base_seed = nearest_seed_map(graph, wsn);
+  const Rng base_rng(opts.seed);
+
+  struct Scored {
+    Assignment assignment;
+    CommCostReport report;
+  };
+  std::vector<std::optional<Scored>> scored(specs.size());
+
+  par::parallel_for(
+      specs.size(),
+      [&](std::size_t i) {
+        const CandidateSpec& spec = specs[i];
+        Assignment a = [&] {
+          if (spec.nearest) {
+            return Assignment(&graph, base_seed);
+          }
+          std::vector<NodeId> seed = base_seed;
+          if (spec.jitter) {
+            // Substream keyed by candidate index: the perturbation depends
+            // only on (opts.seed, i), never on which worker runs it.
+            Rng rng = par::substream(base_rng, static_cast<std::uint64_t>(i));
+            for (NodeId& n : seed) {
+              const auto& nbrs = wsn.neighbors(n);
+              if (!nbrs.empty() && rng.bernoulli(opts.jitter_probability)) {
+                n = nbrs[static_cast<std::size_t>(rng.uniform_int(
+                    0, static_cast<std::int64_t>(nbrs.size()) - 1))];
+              }
+            }
+          }
+          return assign_balanced_heuristic_from(graph, wsn, std::move(seed),
+                                                spec.slack);
+        }();
+        // Score without obs: gauges are last-write-wins and would race;
+        // the winner's numbers are published once below.
+        CommCostReport r = compute_comm_cost(a, wsn, opts.cost_options);
+        scored[i].emplace(Scored{std::move(a), std::move(r)});
+      },
+      opts.pool, /*grain=*/1);
+
+  // Winner by (max_cost, candidate index): scanning in candidate order with
+  // a strict `<` makes ties resolve to the lowest index regardless of the
+  // evaluation schedule.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < specs.size(); ++i) {
+    if (scored[i]->report.max_cost < scored[best]->report.max_cost) best = i;
+  }
+
+  AssignmentSearchResult res{std::move(scored[best]->assignment),
+                             best,
+                             scored[best]->report.max_cost,
+                             scored[best]->report.mean_cost,
+                             {}};
+  res.candidates.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    res.candidates.push_back({specs[i].label, scored[i]->report.max_cost,
+                              scored[i]->report.mean_cost});
+  }
+  if (obs != nullptr) {
+    auto& m = obs->metrics();
+    m.gauge("microdeep.search.candidates")
+        .set(static_cast<double>(specs.size()));
+    m.gauge("microdeep.search.best_index").set(static_cast<double>(best));
+    m.gauge("microdeep.search.best_max_cost").set(res.best_max_cost);
+    // Re-publish the winner's comm-cost gauges under the standard keys.
+    compute_comm_cost(res.best, wsn, opts.cost_options, obs);
+  }
+  return res;
+}
+
+}  // namespace zeiot::microdeep

@@ -84,11 +84,14 @@ WsnTopology WsnTopology::jittered_grid(Rect area, int cols, int rows,
 void WsnTopology::build_links() {
   const std::size_t n = positions_.size();
   adj_.assign(n, {});
+  link_.assign(n * n, 0);
   for (std::size_t a = 0; a < n; ++a) {
     for (std::size_t b = a + 1; b < n; ++b) {
       if (distance(positions_[a], positions_[b]) <= comm_radius_) {
         adj_[a].push_back(static_cast<NodeId>(b));
         adj_[b].push_back(static_cast<NodeId>(a));
+        link_[a * n + b] = 1;
+        link_[b * n + a] = 1;
       }
     }
   }
@@ -151,8 +154,7 @@ const std::vector<NodeId>& WsnTopology::neighbors(NodeId id) const {
 
 bool WsnTopology::is_link(NodeId a, NodeId b) const {
   ZEIOT_CHECK(a < adj_.size() && b < adj_.size());
-  const auto& na = adj_[a];
-  return std::find(na.begin(), na.end(), b) != na.end();
+  return link_[static_cast<std::size_t>(a) * adj_.size() + b] != 0;
 }
 
 NodeId WsnTopology::nearest_node(Point2D p) const {

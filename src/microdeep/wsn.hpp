@@ -67,6 +67,7 @@ class WsnTopology {
   Rect area_;
   double comm_radius_;
   std::vector<std::vector<NodeId>> adj_;
+  std::vector<std::uint8_t> link_;  // n*n adjacency matrix for O(1) is_link
   // next_hop_[to][from] = neighbour of `from` one step closer to `to`.
   std::vector<std::vector<NodeId>> next_hop_;
   std::vector<std::vector<int>> hops_;

@@ -29,8 +29,11 @@ void KnnClassifier::fit(FeatureMatrix x, LabelVector y) {
 int KnnClassifier::predict(const std::vector<double>& row) const {
   ZEIOT_CHECK_MSG(!x_.empty(), "kNN predict before fit");
   ZEIOT_CHECK_MSG(row.size() == x_.front().size(), "feature count mismatch");
-  // Partial selection of the k smallest distances.
-  std::vector<std::pair<double, int>> dist;  // (d^2, label)
+  // Partial selection of the k smallest distances.  Keys are (d^2, training
+  // index): breaking distance ties by index makes the neighbor set — and
+  // therefore the prediction — independent of the (unstable) partial_sort
+  // implementation when several training points are equidistant.
+  std::vector<std::pair<double, std::size_t>> dist;  // (d^2, index)
   dist.reserve(x_.size());
   for (std::size_t i = 0; i < x_.size(); ++i) {
     double d2 = 0.0;
@@ -38,7 +41,7 @@ int KnnClassifier::predict(const std::vector<double>& row) const {
       const double dv = row[j] - x_[i][j];
       d2 += dv * dv;
     }
-    dist.emplace_back(d2, y_[i]);
+    dist.emplace_back(d2, i);
   }
   const std::size_t k = std::min<std::size_t>(static_cast<std::size_t>(k_),
                                               dist.size());
@@ -47,8 +50,9 @@ int KnnClassifier::predict(const std::vector<double>& row) const {
   std::vector<int> votes(static_cast<std::size_t>(num_classes_), 0);
   std::vector<double> vote_dist(static_cast<std::size_t>(num_classes_), 0.0);
   for (std::size_t i = 0; i < k; ++i) {
-    ++votes[static_cast<std::size_t>(dist[i].second)];
-    vote_dist[static_cast<std::size_t>(dist[i].second)] += dist[i].first;
+    const auto label = static_cast<std::size_t>(y_[dist[i].second]);
+    ++votes[label];
+    vote_dist[label] += dist[i].first;
   }
   int best = 0;
   for (int c = 1; c < num_classes_; ++c) {

@@ -36,6 +36,14 @@ class Layer {
   virtual std::string name() const = 0;
   /// Output shape (excluding batch) for an input shape (excluding batch).
   virtual std::vector<int> output_shape(const std::vector<int>& in) const = 0;
+  /// Deep copy for data-parallel replicas: parameter values and gradients
+  /// are copied, forward caches come along but are overwritten by the next
+  /// forward.  Layers whose *training* forward draws randomness (Dropout)
+  /// share the original generator and must report rng_forward() = true so
+  /// the trainer keeps them off the sharded path.
+  virtual std::unique_ptr<Layer> clone() const = 0;
+  /// True when forward(x, /*train=*/true) consumes shared RNG state.
+  virtual bool rng_forward() const { return false; }
 };
 
 /// 2-D convolution, stride 1, symmetric zero padding.
@@ -48,6 +56,9 @@ class Conv2D final : public Layer {
   Tensor backward(const Tensor& grad_y) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   std::string name() const override { return "conv2d"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Conv2D>(*this);
+  }
   std::vector<int> output_shape(const std::vector<int>& in) const override;
 
   int in_channels() const { return in_channels_; }
@@ -73,6 +84,9 @@ class MaxPool2D final : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_y) override;
   std::string name() const override { return "maxpool2d"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<MaxPool2D>(*this);
+  }
   std::vector<int> output_shape(const std::vector<int>& in) const override;
 
   int k() const { return k_; }
@@ -89,6 +103,9 @@ class ReLU final : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_y) override;
   std::string name() const override { return "relu"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ReLU>(*this);
+  }
   std::vector<int> output_shape(const std::vector<int>& in) const override {
     return in;
   }
@@ -103,6 +120,9 @@ class Flatten final : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_y) override;
   std::string name() const override { return "flatten"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Flatten>(*this);
+  }
   std::vector<int> output_shape(const std::vector<int>& in) const override;
 
  private:
@@ -118,6 +138,9 @@ class Dense final : public Layer {
   Tensor backward(const Tensor& grad_y) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   std::string name() const override { return "dense"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Dense>(*this);
+  }
   std::vector<int> output_shape(const std::vector<int>& in) const override;
 
   int in_features() const { return in_features_; }
@@ -139,6 +162,10 @@ class Dropout final : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_y) override;
   std::string name() const override { return "dropout"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Dropout>(*this);
+  }
+  bool rng_forward() const override { return true; }
   std::vector<int> output_shape(const std::vector<int>& in) const override {
     return in;
   }

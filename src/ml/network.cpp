@@ -1,5 +1,7 @@
 #include "ml/network.hpp"
 
+#include <algorithm>
+
 namespace zeiot::ml {
 
 Layer& Network::add(std::unique_ptr<Layer> layer) {
@@ -44,6 +46,33 @@ std::vector<Param*> Network::params() {
 
 void Network::zero_grads() {
   for (Param* p : params()) p->grad.fill(0.0f);
+}
+
+Network Network::clone() const {
+  Network copy;
+  for (const auto& l : layers_) copy.layers_.push_back(l->clone());
+  return copy;
+}
+
+bool Network::parallel_safe() const {
+  for (const auto& l : layers_) {
+    if (l->rng_forward()) return false;
+  }
+  return true;
+}
+
+void Network::copy_param_values_from(Network& src) {
+  const auto mine = params();
+  const auto theirs = src.params();
+  ZEIOT_CHECK_MSG(mine.size() == theirs.size(),
+                  "copy_param_values_from: architecture mismatch");
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    ZEIOT_CHECK_MSG(mine[i]->value.size() == theirs[i]->value.size(),
+                    "copy_param_values_from: shape mismatch at param " << i);
+    std::copy(theirs[i]->value.data(),
+              theirs[i]->value.data() + theirs[i]->value.size(),
+              mine[i]->value.data());
+  }
 }
 
 std::size_t Network::num_parameters() const {

@@ -41,6 +41,15 @@ class Network {
   std::vector<Param*> params();
   /// Zeroes every parameter gradient.
   void zero_grads();
+  /// Deep copy (layer clones) for data-parallel replicas.
+  Network clone() const;
+  /// True when no layer consumes shared RNG state in its training forward
+  /// — the precondition for sharding a batch across replicas.
+  bool parallel_safe() const;
+  /// Copies parameter *values* from `src` (identical architecture
+  /// required); gradients are untouched.  Used to resync replicas with the
+  /// primary before each sharded batch.
+  void copy_param_values_from(Network& src);
   /// Total number of trainable scalars.
   std::size_t num_parameters() const;
 

@@ -2,63 +2,160 @@
 
 #include <algorithm>
 #include <iostream>
+#include <limits>
+
+#include "par/parallel.hpp"
 
 namespace zeiot::ml {
 
-Trainer::Trainer(Network& net, Optimizer& opt, Rng rng)
-    : net_(net), opt_(opt), rng_(rng) {}
+namespace {
+
+/// Correct predictions of `net` over samples [lo, hi) of `data`, evaluated
+/// in fixed 64-sample batches.  Counts are integers, so the total is
+/// independent of how the range is split across workers.
+std::size_t count_correct(Network& net, const Dataset& data, std::size_t lo,
+                          std::size_t hi) {
+  constexpr std::size_t kEvalBatch = 64;
+  std::size_t correct = 0;
+  std::vector<std::size_t> idx;
+  for (std::size_t start = lo; start < hi; start += kEvalBatch) {
+    const std::size_t end = std::min(hi, start + kEvalBatch);
+    idx.clear();
+    for (std::size_t i = start; i < end; ++i) idx.push_back(i);
+    auto [xb, yb] = data.batch(idx);
+    Tensor logits = net.forward(xb, /*train=*/false);
+    const int k = logits.dim(1);
+    for (int b = 0; b < logits.dim(0); ++b) {
+      const float* row = logits.data() + static_cast<std::size_t>(b) * k;
+      const int pred =
+          static_cast<int>(std::max_element(row, row + k) - row);
+      if (pred == yb[static_cast<std::size_t>(b)]) ++correct;
+    }
+  }
+  return correct;
+}
+
+/// Correct predictions among the logit rows of one (shard) batch.
+std::size_t batch_correct(const Tensor& logits, const std::vector<int>& yb) {
+  std::size_t correct = 0;
+  const int k = logits.dim(1);
+  for (int b = 0; b < logits.dim(0); ++b) {
+    const float* row = logits.data() + static_cast<std::size_t>(b) * k;
+    const int pred = static_cast<int>(std::max_element(row, row + k) - row);
+    if (pred == yb[static_cast<std::size_t>(b)]) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace
+
+Trainer::Trainer(Network& net, Optimizer& opt, Rng rng, par::ThreadPool* pool)
+    : net_(net), opt_(opt), rng_(rng), pool_(pool) {}
+
+void Trainer::ensure_replicas(std::size_t count) {
+  // Network moves (vector growth) relocate only the layer-pointer table;
+  // the Layer objects — and therefore the cached Param* lists — stay put.
+  while (replicas_.size() < count) {
+    replicas_.push_back(net_.clone());
+    replica_params_.push_back(replicas_.back().params());
+  }
+}
 
 TrainHistory Trainer::fit(const Dataset& train, const Dataset& val,
                           const TrainConfig& cfg) {
   ZEIOT_CHECK_MSG(!train.empty(), "cannot fit on an empty dataset");
   ZEIOT_CHECK_MSG(cfg.epochs > 0 && cfg.batch_size > 0,
                   "epochs and batch_size must be > 0");
+  ZEIOT_CHECK_MSG(cfg.shard_grain > 0, "shard_grain must be > 0");
+  par::ThreadPool& pool =
+      cfg.pool != nullptr ? *cfg.pool
+                          : (pool_ != nullptr ? *pool_ : par::global_pool());
+  const auto grain = static_cast<std::size_t>(cfg.shard_grain);
+  const bool shardable = net_.parallel_safe();
+
   TrainHistory hist;
+  auto params = net_.params();
   int since_best = 0;
+  double best_train_loss = std::numeric_limits<double>::infinity();
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
     auto order = rng_.permutation(train.size());
-    double loss_sum = 0.0;
+    double loss_sum = 0.0;  // sample-weighted: sum of per-sample losses
     std::size_t correct = 0;
-    std::size_t batches = 0;
     for (std::size_t start = 0; start < order.size();
          start += static_cast<std::size_t>(cfg.batch_size)) {
       const std::size_t end = std::min(
           order.size(), start + static_cast<std::size_t>(cfg.batch_size));
-      const std::vector<std::size_t> idx(order.begin() + static_cast<long>(start),
-                                         order.begin() + static_cast<long>(end));
-      auto [xb, yb] = train.batch(idx);
-      net_.zero_grads();
-      Tensor logits = net_.forward(xb, /*train=*/true);
-      const LossResult lr = softmax_cross_entropy(logits, yb);
-      loss_sum += lr.loss;
-      ++batches;
-      // Batch accuracy bookkeeping.
-      const int k = logits.dim(1);
-      for (int b = 0; b < logits.dim(0); ++b) {
-        const float* row = logits.data() + static_cast<std::size_t>(b) * k;
-        const int pred = static_cast<int>(
-            std::max_element(row, row + k) - row);
-        if (pred == yb[static_cast<std::size_t>(b)]) ++correct;
+      const std::size_t bn = end - start;
+      const auto shards = par::make_chunks(bn, grain);
+      if (!shardable || shards.size() <= 1) {
+        // Serial whole-batch path.  A single-shard batch computes the same
+        // bits here as on a replica, so thread count still cannot matter.
+        const std::vector<std::size_t> idx(
+            order.begin() + static_cast<long>(start),
+            order.begin() + static_cast<long>(end));
+        auto [xb, yb] = train.batch(idx);
+        net_.zero_grads();
+        Tensor logits = net_.forward(xb, /*train=*/true);
+        const LossResult lr = softmax_cross_entropy(logits, yb);
+        loss_sum += lr.loss * static_cast<double>(bn);
+        correct += batch_correct(logits, yb);
+        net_.backward(lr.grad);
+      } else {
+        // Data-parallel path: fixed shards, per-shard replicas, gradients
+        // reduced into the primary in shard order.
+        ensure_replicas(shards.size());
+        std::vector<double> shard_loss(shards.size(), 0.0);
+        std::vector<std::size_t> shard_correct(shards.size(), 0);
+        pool.run(shards.size(), [&](std::size_t s) {
+          Network& rep = replicas_[s];
+          rep.copy_param_values_from(net_);  // concurrent reads only
+          rep.zero_grads();
+          const std::vector<std::size_t> idx(
+              order.begin() + static_cast<long>(start + shards[s].begin),
+              order.begin() + static_cast<long>(start + shards[s].end));
+          auto [xb, yb] = train.batch(idx);
+          Tensor logits = rep.forward(xb, /*train=*/true);
+          LossResult lr = softmax_cross_entropy(logits, yb);
+          shard_loss[s] = lr.loss;
+          shard_correct[s] = batch_correct(logits, yb);
+          // The shard loss gradient is normalized by the shard size;
+          // reweight so the summed shard gradients equal the batch-mean
+          // gradient: d(mean over batch) = sum_s (n_s / bn) d(mean over s).
+          lr.grad.scale_(static_cast<float>(shards[s].size()) /
+                         static_cast<float>(bn));
+          rep.backward(lr.grad);
+        });
+        net_.zero_grads();
+        for (std::size_t s = 0; s < shards.size(); ++s) {
+          for (std::size_t p = 0; p < params.size(); ++p) {
+            params[p]->grad.add_(replica_params_[s][p]->grad);
+          }
+          loss_sum += shard_loss[s] * static_cast<double>(shards[s].size());
+          correct += shard_correct[s];
+        }
       }
-      net_.backward(lr.grad);
-      if (grad_hook_) {
-        auto params = net_.params();
-        grad_hook_(params);
-      }
-      opt_.step(net_.params());
+      if (grad_hook_) grad_hook_(params);
+      opt_.step(params);
     }
     EpochStats es;
-    es.train_loss = batches ? loss_sum / static_cast<double>(batches) : 0.0;
+    es.train_loss = loss_sum / static_cast<double>(train.size());
     es.train_accuracy =
         static_cast<double>(correct) / static_cast<double>(train.size());
     es.val_accuracy = val.empty() ? 0.0 : evaluate(val);
     hist.epochs.push_back(es);
-    if (es.val_accuracy > hist.best_val_accuracy) {
-      hist.best_val_accuracy = es.val_accuracy;
-      since_best = 0;
+    // Early stopping tracks validation accuracy when a validation set is
+    // supplied; with none, it falls back to train-loss improvement (a
+    // val_accuracy pinned at 0.0 would otherwise never "improve" and
+    // patience would always fire after exactly `patience` epochs).
+    bool improved;
+    if (!val.empty()) {
+      improved = es.val_accuracy > hist.best_val_accuracy;
+      if (improved) hist.best_val_accuracy = es.val_accuracy;
     } else {
-      ++since_best;
+      improved = es.train_loss < best_train_loss;
+      if (improved) best_train_loss = es.train_loss;
     }
+    since_best = improved ? 0 : since_best + 1;
     if (cfg.verbose) {
       std::cerr << "epoch " << epoch + 1 << "/" << cfg.epochs << " loss="
                 << es.train_loss << " train_acc=" << es.train_accuracy
@@ -71,24 +168,26 @@ TrainHistory Trainer::fit(const Dataset& train, const Dataset& val,
 
 double Trainer::evaluate(const Dataset& data) {
   if (data.empty()) return 0.0;
+  const std::size_t n = data.size();
+  // Chunk layout depends only on n: the classic 64-sample eval batches,
+  // merged into at most 16 worker chunks so the replica pool stays small.
+  const std::size_t grain = std::max<std::size_t>(64, (n + 15) / 16);
+  const auto chunks = par::make_chunks(n, grain);
+  par::ThreadPool& pool = pool_ != nullptr ? *pool_ : par::global_pool();
   std::size_t correct = 0;
-  constexpr std::size_t kEvalBatch = 64;
-  std::vector<std::size_t> idx;
-  for (std::size_t start = 0; start < data.size(); start += kEvalBatch) {
-    const std::size_t end = std::min(data.size(), start + kEvalBatch);
-    idx.clear();
-    for (std::size_t i = start; i < end; ++i) idx.push_back(i);
-    auto [xb, yb] = data.batch(idx);
-    Tensor logits = net_.forward(xb, /*train=*/false);
-    const int k = logits.dim(1);
-    for (int b = 0; b < logits.dim(0); ++b) {
-      const float* row = logits.data() + static_cast<std::size_t>(b) * k;
-      const int pred =
-          static_cast<int>(std::max_element(row, row + k) - row);
-      if (pred == yb[static_cast<std::size_t>(b)]) ++correct;
-    }
+  if (chunks.size() <= 1 || pool.num_threads() <= 1) {
+    correct = count_correct(net_, data, 0, n);
+  } else {
+    ensure_replicas(chunks.size());
+    std::vector<std::size_t> per_chunk(chunks.size(), 0);
+    pool.run(chunks.size(), [&](std::size_t c) {
+      replicas_[c].copy_param_values_from(net_);
+      per_chunk[c] =
+          count_correct(replicas_[c], data, chunks[c].begin, chunks[c].end);
+    });
+    for (std::size_t v : per_chunk) correct += v;
   }
-  return static_cast<double>(correct) / static_cast<double>(data.size());
+  return static_cast<double>(correct) / static_cast<double>(n);
 }
 
 ConfusionMatrix Trainer::confusion(const Dataset& data, int num_classes) {

@@ -3,6 +3,15 @@
 // The trainer exposes a gradient-transform hook: MicroDeep uses it to model
 // the accuracy impact of node-local weight updates (cross-node gradient
 // terms arriving stale/partial) without duplicating the training loop.
+//
+// Execution is data-parallel and deterministic: each mini-batch is split
+// into fixed-size shards (cfg.shard_grain samples, independent of the
+// worker count), every shard runs forward/backward on its own network
+// replica, and the shard gradients are summed into the primary network in
+// shard order before the optimizer step.  Results are therefore
+// bit-identical between ZEIOT_THREADS=1 and ZEIOT_THREADS=N.  Networks
+// containing RNG-consuming layers (Dropout) fall back to the serial
+// whole-batch path at any thread count, which is equally deterministic.
 #pragma once
 
 #include <functional>
@@ -14,16 +23,29 @@
 #include "ml/network.hpp"
 #include "ml/optimizer.hpp"
 
+namespace zeiot::par {
+class ThreadPool;
+}
+
 namespace zeiot::ml {
 
 struct TrainConfig {
   int epochs = 10;
   int batch_size = 16;
-  /// Stop early when validation accuracy has not improved for this many
-  /// epochs (0 disables early stopping).
+  /// Stop early when the model has not improved for this many epochs
+  /// (0 disables early stopping).  Improvement means higher validation
+  /// accuracy, or — when no validation set is supplied — lower epoch
+  /// train loss.
   int patience = 0;
   /// Print per-epoch progress to stderr.
   bool verbose = false;
+  /// Samples per data-parallel shard.  Fixed shard boundaries (not tied to
+  /// the worker count) are what keep training reproducible; lower values
+  /// expose more parallelism, higher values amortize more per-shard work.
+  int shard_grain = 8;
+  /// Worker pool for sharded execution (null = par::global_pool(), which
+  /// honours ZEIOT_THREADS).
+  par::ThreadPool* pool = nullptr;
 };
 
 struct EpochStats {
@@ -43,7 +65,10 @@ class Trainer {
   /// MicroDeep installs its distributed-update model here.
   using GradHook = std::function<void(std::vector<Param*>&)>;
 
-  Trainer(Network& net, Optimizer& opt, Rng rng);
+  /// `pool` is the default worker pool for fit/evaluate (null =
+  /// par::global_pool()); TrainConfig::pool overrides it per fit.
+  Trainer(Network& net, Optimizer& opt, Rng rng,
+          par::ThreadPool* pool = nullptr);
 
   void set_grad_hook(GradHook hook) { grad_hook_ = std::move(hook); }
 
@@ -61,10 +86,16 @@ class Trainer {
   int predict(const Tensor& x);
 
  private:
+  /// Replica pool sized to `count`, lazily cloned from net_.
+  void ensure_replicas(std::size_t count);
+
   Network& net_;
   Optimizer& opt_;
   Rng rng_;
   GradHook grad_hook_;
+  par::ThreadPool* pool_;
+  std::vector<Network> replicas_;
+  std::vector<std::vector<Param*>> replica_params_;
 };
 
 }  // namespace zeiot::ml

@@ -1,0 +1,98 @@
+// Deterministic chunking, parallel loops, and ordered reductions on top of
+// par::ThreadPool.
+//
+// Everything here is worker-count independent by construction: chunk
+// layouts depend only on the problem size, per-chunk results are stored in
+// per-chunk slots, and reductions run on the calling thread in chunk
+// order.  Floating-point results are therefore bit-identical between
+// ZEIOT_THREADS=1 and ZEIOT_THREADS=N.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "par/thread_pool.hpp"
+
+namespace zeiot::par {
+
+/// Half-open index range [begin, end) with its position in the chunk list.
+struct ChunkRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t index = 0;
+  std::size_t size() const { return end - begin; }
+};
+
+/// Upper bound on the chunk count when no grain is given: enough slack for
+/// any sane worker count while keeping per-chunk bookkeeping negligible.
+inline constexpr std::size_t kDefaultMaxChunks = 64;
+
+/// Splits [0, n) into fixed chunks of at most `grain` items (the last chunk
+/// may be smaller).  `grain == 0` picks ceil(n / kDefaultMaxChunks).  The
+/// layout is a pure function of (n, grain) — never of the worker count —
+/// which is what makes chunked reductions reproducible.
+inline std::vector<ChunkRange> make_chunks(std::size_t n, std::size_t grain = 0) {
+  std::vector<ChunkRange> chunks;
+  if (n == 0) return chunks;
+  if (grain == 0) grain = (n + kDefaultMaxChunks - 1) / kDefaultMaxChunks;
+  chunks.reserve((n + grain - 1) / grain);
+  for (std::size_t b = 0, c = 0; b < n; b += grain, ++c) {
+    chunks.push_back({b, std::min(n, b + grain), c});
+  }
+  return chunks;
+}
+
+/// Executes fn(i) for every i in [0, n), chunked over `pool` (the global
+/// pool when null).  Use only when iterations are independent and write to
+/// disjoint state; then the result cannot depend on the worker count.
+inline void parallel_for(std::size_t n,
+                         const std::function<void(std::size_t)>& fn,
+                         ThreadPool* pool = nullptr, std::size_t grain = 0) {
+  const auto chunks = make_chunks(n, grain);
+  ThreadPool& p = pool != nullptr ? *pool : global_pool();
+  p.run(chunks.size(), [&](std::size_t c) {
+    for (std::size_t i = chunks[c].begin; i < chunks[c].end; ++i) fn(i);
+  });
+}
+
+/// Chunk-at-a-time variant for bodies that amortize per-chunk setup (a
+/// scratch buffer, a replica, a substream RNG).
+inline void parallel_for_chunks(std::size_t n, std::size_t grain,
+                                const std::function<void(const ChunkRange&)>& fn,
+                                ThreadPool* pool = nullptr) {
+  const auto chunks = make_chunks(n, grain);
+  ThreadPool& p = pool != nullptr ? *pool : global_pool();
+  p.run(chunks.size(), [&](std::size_t c) { fn(chunks[c]); });
+}
+
+/// Ordered map/reduce: maps every chunk concurrently into its own slot,
+/// then folds the slots on the calling thread in chunk order:
+///   reduce(...reduce(reduce(init, map(chunk 0)), map(chunk 1))...)
+/// Because the fold order is fixed, non-associative combines (float sums)
+/// give bit-identical results for any worker count.
+template <typename T, typename MapFn, typename ReduceFn>
+T ordered_reduce(std::size_t n, T init, MapFn map, ReduceFn reduce,
+                 ThreadPool* pool = nullptr, std::size_t grain = 0) {
+  const auto chunks = make_chunks(n, grain);
+  std::vector<std::optional<T>> partial(chunks.size());
+  ThreadPool& p = pool != nullptr ? *pool : global_pool();
+  p.run(chunks.size(), [&](std::size_t c) { partial[c].emplace(map(chunks[c])); });
+  T acc = std::move(init);
+  for (auto& slot : partial) acc = reduce(std::move(acc), std::move(*slot));
+  return acc;
+}
+
+/// Independent RNG substream keyed by chunk index.  Copies `base` so the
+/// caller's stream is never advanced: substream(base, k) is a pure function
+/// of (base state, k), identical no matter how many chunks were split off,
+/// in what order, or on which thread — the zeiot::fault keyed-substream
+/// convention extended to parallel chunks.
+inline Rng substream(const Rng& base, std::uint64_t index) {
+  Rng child = base;
+  return child.split(index);
+}
+
+}  // namespace zeiot::par

@@ -1,0 +1,67 @@
+// Deterministic parallel execution substrate.
+//
+// A fixed-size pool of workers executes indexed tasks; callers obtain
+// *bit-identical results regardless of worker count* by following two
+// rules that every zeiot wire-in (ml::Trainer shards, microdeep assignment
+// search, bench sweeps) obeys:
+//   1. work is split into fixed-index chunks whose layout depends only on
+//      the problem size (see par::make_chunks), never on the thread count;
+//   2. per-chunk results land in per-chunk slots and are reduced on the
+//      calling thread in chunk order (see par::ordered_reduce), and any
+//      per-chunk randomness comes from a SplitMix substream keyed by the
+//      chunk index (see par::substream) — the same keyed-stream convention
+//      zeiot::fault uses for its event classes.
+//
+// The worker count defaults to std::thread::hardware_concurrency and can
+// be overridden with the ZEIOT_THREADS environment variable (read once,
+// when the global pool is first used).  ZEIOT_THREADS=1 runs everything
+// inline on the calling thread with no workers spawned at all.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace zeiot::par {
+
+/// Worker count resolution: ZEIOT_THREADS when set to a positive integer
+/// (clamped to 512), otherwise std::thread::hardware_concurrency, never
+/// less than 1.
+std::size_t default_threads();
+
+/// Fixed-size worker pool.  `run` distributes task indices over the
+/// workers; the calling thread participates, so a pool of N threads uses
+/// N-1 standing workers.  Reentrant `run` calls from inside a task execute
+/// inline on the calling thread (nested parallel regions serialize instead
+/// of deadlocking), which keeps results independent of nesting depth.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` resolves to default_threads().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return num_threads_; }
+
+  /// Executes fn(i) for every i in [0, count) and blocks until all have
+  /// completed.  The index -> thread mapping is unspecified; determinism
+  /// comes from the caller's chunk/slot discipline, not from scheduling.
+  /// If invocations throw, the exception of the lowest failing index is
+  /// rethrown after the region completes (matching what a serial loop
+  /// that kept going would report first).
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::size_t num_threads_;
+};
+
+/// Process-wide pool, lazily constructed with default_threads().  All
+/// library defaults (Trainer, assignment search, bench sweeps) route here
+/// when no explicit pool is supplied, so one ZEIOT_THREADS setting governs
+/// the whole binary.
+ThreadPool& global_pool();
+
+}  // namespace zeiot::par

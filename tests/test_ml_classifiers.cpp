@@ -92,6 +92,20 @@ TEST(Knn, KOneMemorizes) {
   EXPECT_DOUBLE_EQ(knn.score(x, y), 1.0);  // 1-NN on training data is exact
 }
 
+TEST(Knn, DistanceTiesBreakByTrainingIndex) {
+  // Regression: neighbor selection used to sort (distance, label) pairs
+  // with an unstable partial sort, so equidistant training points entered
+  // the k-set in label (or implementation-defined) order.  Ties must break
+  // by training index: the four points below are all at distance 1 from
+  // the query, so k=2 selects indices 0 and 1 — both label 1 — even though
+  // label-ordered selection would have picked the two label-0 points.
+  FeatureMatrix x{{1.0}, {-1.0}, {1.0}, {-1.0}};
+  LabelVector y{1, 1, 0, 0};
+  KnnClassifier knn(2);
+  knn.fit(x, y);
+  EXPECT_EQ(knn.predict({0.0}), 1);
+}
+
 TEST(Knn, RejectsMisuse) {
   KnnClassifier knn(3);
   EXPECT_THROW(knn.predict({1.0}), Error);

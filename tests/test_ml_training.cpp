@@ -267,5 +267,52 @@ TEST(Sgd, WeightDecayShrinksWeights) {
   EXPECT_LT(std::abs(params[0]->value[0]), std::abs(before) + 1e-9);
 }
 
+TEST(Trainer, EarlyStoppingWithEmptyValTracksTrainLoss) {
+  // Regression: with no validation set, val_accuracy sits pinned at 0.0 —
+  // the old improvement test ("higher val accuracy") could then never
+  // pass, so patience fired after exactly `patience` epochs no matter how
+  // fast the train loss was falling.  With the train-loss fallback, a
+  // model that is clearly still improving must outlive its patience.
+  Rng rng(110);
+  Network net = make_mlp(rng);
+  Sgd opt(0.1);
+  Trainer trainer(net, opt, Rng(111));
+  const Dataset train = make_ring_dataset(200, 112);
+  TrainConfig cfg;
+  cfg.epochs = 30;
+  cfg.batch_size = 32;
+  cfg.patience = 3;
+  const auto hist = trainer.fit(train, {}, cfg);
+  EXPECT_GT(hist.epochs.size(), static_cast<std::size_t>(cfg.patience));
+  // Sanity: the loss actually fell while it ran.
+  EXPECT_LT(hist.epochs.back().train_loss, hist.epochs.front().train_loss);
+}
+
+TEST(Trainer, EpochLossIsSampleWeightedNotBatchWeighted) {
+  // Regression: the epoch loss used to average per-batch means, so a
+  // trailing partial batch was over-weighted and the reported loss changed
+  // with batch-size divisibility.  With sample weighting, training 20
+  // samples in batches of 5 (even split) and 8 (trailing batch of 4) must
+  // report the same epoch loss when the weights never move.
+  const Dataset train = make_ring_dataset(20, 120);
+  auto epoch_loss_with_batch = [&](int batch_size) {
+    Rng rng(121);
+    Network net = make_mlp(rng);
+    Sgd opt(0.1);
+    Trainer trainer(net, opt, Rng(122));
+    // Freeze the weights: zeroed gradients make every step a no-op, so
+    // each batch is evaluated against identical parameters and the epoch
+    // loss differs only through the loss bookkeeping under test.
+    trainer.set_grad_hook([](std::vector<Param*>& params) {
+      for (Param* p : params) p->grad.fill(0.0f);
+    });
+    TrainConfig cfg;
+    cfg.epochs = 1;
+    cfg.batch_size = batch_size;
+    return trainer.fit(train, {}, cfg).epochs.front().train_loss;
+  };
+  EXPECT_NEAR(epoch_loss_with_batch(5), epoch_loss_with_batch(8), 1e-9);
+}
+
 }  // namespace
 }  // namespace zeiot::ml

@@ -1,0 +1,362 @@
+// zeiot::par — deterministic thread pool, chunking, ordered reduction, and
+// the cross-subsystem determinism guarantee: bit-identical results at any
+// worker count for the trainer, the assignment search, and merged metrics.
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "microdeep/distributed.hpp"
+#include "microdeep/executor.hpp"
+#include "microdeep/search.hpp"
+#include "ml/trainer.hpp"
+#include "par/parallel.hpp"
+
+using namespace zeiot;
+using namespace zeiot::par;
+
+// ---------------------------------------------------------------- chunks --
+
+TEST(MakeChunks, CoversRangeContiguouslyWithSequentialIndices) {
+  for (std::size_t n : {1u, 7u, 64u, 100u, 1000u}) {
+    for (std::size_t grain : {1u, 3u, 8u, 64u, 2000u}) {
+      const auto chunks = make_chunks(n, grain);
+      ASSERT_FALSE(chunks.empty());
+      EXPECT_EQ(chunks.front().begin, 0u);
+      EXPECT_EQ(chunks.back().end, n);
+      for (std::size_t c = 0; c < chunks.size(); ++c) {
+        EXPECT_EQ(chunks[c].index, c);
+        EXPECT_LT(chunks[c].begin, chunks[c].end);
+        EXPECT_LE(chunks[c].size(), grain);
+        if (c > 0) EXPECT_EQ(chunks[c].begin, chunks[c - 1].end);
+      }
+    }
+  }
+}
+
+TEST(MakeChunks, EmptyRangeYieldsNoChunks) {
+  EXPECT_TRUE(make_chunks(0).empty());
+  EXPECT_TRUE(make_chunks(0, 5).empty());
+}
+
+TEST(MakeChunks, DefaultGrainBoundsChunkCount) {
+  for (std::size_t n : {1u, 63u, 64u, 65u, 10000u}) {
+    const auto chunks = make_chunks(n);
+    EXPECT_LE(chunks.size(), kDefaultMaxChunks);
+    EXPECT_EQ(chunks.back().end, n);
+  }
+}
+
+// ------------------------------------------------------------------ pool --
+
+TEST(ThreadPool, ExecutesEveryIndexExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.run(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPool, ZeroCountIsANoOp) {
+  ThreadPool pool(4);
+  pool.run(0, [&](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, SurvivesRepeatedReuse) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.run(64, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 200u * 64u);
+}
+
+TEST(ThreadPool, PropagatesLowestIndexException) {
+  ThreadPool pool(4);
+  try {
+    pool.run(64, [&](std::size_t i) {
+      if (i == 5 || i == 17 || i == 40) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 5");
+  }
+  // The pool stays usable after a throwing region.
+  std::atomic<int> ok{0};
+  pool.run(16, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 16);
+}
+
+TEST(ThreadPool, NestedRunsExecuteInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  pool.run(8, [&](std::size_t) {
+    // Re-entrant use of the same pool must serialize, not deadlock.
+    pool.run(50, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 8u * 50u);
+}
+
+TEST(DefaultThreads, HonorsZeiotThreadsEnv) {
+  ASSERT_EQ(setenv("ZEIOT_THREADS", "3", 1), 0);
+  EXPECT_EQ(default_threads(), 3u);
+  ASSERT_EQ(setenv("ZEIOT_THREADS", "99999", 1), 0);
+  EXPECT_EQ(default_threads(), 512u);  // clamped
+  ASSERT_EQ(setenv("ZEIOT_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(default_threads(), 1u);  // falls back to hardware
+  ASSERT_EQ(unsetenv("ZEIOT_THREADS"), 0);
+  EXPECT_GE(default_threads(), 1u);
+}
+
+// ------------------------------------------------------- loops/reductions --
+
+TEST(ParallelFor, MatchesSerialForAnyPoolSize) {
+  constexpr std::size_t kN = 517;
+  std::vector<int> expected(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    expected[i] = static_cast<int>(i * i % 1009);
+  }
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    std::vector<int> got(kN, -1);
+    parallel_for(
+        kN, [&](std::size_t i) { got[i] = static_cast<int>(i * i % 1009); },
+        &pool, 7);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(ParallelForChunks, SeesEveryChunkOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> seen(make_chunks(100, 9).size());
+  parallel_for_chunks(
+      100, 9,
+      [&](const ChunkRange& c) {
+        EXPECT_EQ(c.size(), c.end - c.begin);
+        seen[c.index].fetch_add(1);
+      },
+      &pool);
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(OrderedReduce, FloatSumIsBitIdenticalAcrossPoolSizes) {
+  // Values spanning many magnitudes: float addition is non-associative
+  // here, so any reduction-order difference would change the bits.
+  constexpr std::size_t kN = 4096;
+  std::vector<float> xs(kN);
+  Rng rng(99);
+  for (auto& x : xs) {
+    x = static_cast<float>(rng.uniform(-1.0, 1.0)) *
+        static_cast<float>(1 << (rng.uniform_int(0, 20)));
+  }
+  auto sum_with = [&](std::size_t threads) {
+    ThreadPool pool(threads);
+    return ordered_reduce<float>(
+        kN, 0.0f,
+        [&](const ChunkRange& c) {
+          float s = 0.0f;
+          for (std::size_t i = c.begin; i < c.end; ++i) s += xs[i];
+          return s;
+        },
+        [](float a, float b) { return a + b; }, &pool, 64);
+  };
+  const float s1 = sum_with(1);
+  const float s2 = sum_with(2);
+  const float s4 = sum_with(4);
+  EXPECT_EQ(s1, s2);  // exact bit equality, not near-equality
+  EXPECT_EQ(s1, s4);
+}
+
+TEST(OrderedReduce, FoldsChunksInIndexOrder) {
+  ThreadPool pool(4);
+  const auto order = ordered_reduce<std::vector<std::size_t>>(
+      100, {}, [](const ChunkRange& c) { return std::vector<std::size_t>{c.index}; },
+      [](std::vector<std::size_t> acc, std::vector<std::size_t> v) {
+        acc.push_back(v.front());
+        return acc;
+      },
+      &pool, 9);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Substream, IsAPureFunctionOfBaseAndKey) {
+  const Rng base(1234);
+  Rng a = substream(base, 7);
+  Rng b = substream(base, 7);
+  Rng c = substream(base, 8);
+  bool any_diff = false;
+  for (int i = 0; i < 64; ++i) {
+    const double va = a.uniform(0.0, 1.0);
+    EXPECT_EQ(va, b.uniform(0.0, 1.0));
+    if (va != c.uniform(0.0, 1.0)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+  // The base stream is never advanced by substream().
+  Rng fresh(1234);
+  Rng copy = base;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(copy.uniform(0.0, 1.0), fresh.uniform(0.0, 1.0));
+  }
+}
+
+// ------------------------------------------- cross-subsystem determinism --
+
+namespace {
+
+ml::Network make_test_net(std::uint64_t seed) {
+  Rng rng(seed);
+  ml::Network net;
+  net.emplace<ml::Conv2D>(1, 2, 3, 1, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::Flatten>();
+  net.emplace<ml::Dense>(2 * 6 * 6, 2, rng);
+  return net;
+}
+
+ml::Dataset make_test_data(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  ml::Dataset data;
+  for (std::size_t s = 0; s < n; ++s) {
+    ml::Tensor x({1, 6, 6});
+    double mean = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+      mean += x[i];
+    }
+    data.add(std::move(x), mean > 0.0 ? 1 : 0);
+  }
+  return data;
+}
+
+struct TrainOutcome {
+  ml::TrainHistory hist;
+  std::vector<float> weights;
+  double accuracy = 0.0;
+};
+
+TrainOutcome train_with_pool(std::size_t threads) {
+  ThreadPool pool(threads);
+  ml::Network net = make_test_net(7);
+  ml::Adam opt(0.01);
+  ml::Trainer trainer(net, opt, Rng(11), &pool);
+  ml::TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.batch_size = 16;
+  cfg.shard_grain = 4;
+  const ml::Dataset train = make_test_data(60, 21);
+  const ml::Dataset val = make_test_data(20, 22);
+  TrainOutcome out;
+  out.hist = trainer.fit(train, val, cfg);
+  for (ml::Param* p : net.params()) {
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      out.weights.push_back(p->value[i]);
+    }
+  }
+  out.accuracy = trainer.evaluate(val);
+  return out;
+}
+
+}  // namespace
+
+TEST(Determinism, TrainingIsBitIdenticalAcrossPoolSizes) {
+  const TrainOutcome a = train_with_pool(1);
+  const TrainOutcome b = train_with_pool(4);
+  ASSERT_EQ(a.hist.epochs.size(), b.hist.epochs.size());
+  for (std::size_t e = 0; e < a.hist.epochs.size(); ++e) {
+    EXPECT_EQ(a.hist.epochs[e].train_loss, b.hist.epochs[e].train_loss);
+    EXPECT_EQ(a.hist.epochs[e].train_accuracy, b.hist.epochs[e].train_accuracy);
+    EXPECT_EQ(a.hist.epochs[e].val_accuracy, b.hist.epochs[e].val_accuracy);
+  }
+  ASSERT_EQ(a.weights.size(), b.weights.size());
+  for (std::size_t i = 0; i < a.weights.size(); ++i) {
+    ASSERT_EQ(a.weights[i], b.weights[i]) << "weight " << i;
+  }
+  EXPECT_EQ(a.accuracy, b.accuracy);
+}
+
+TEST(Determinism, AssignmentSearchPicksSameWinnerAcrossPoolSizes) {
+  ml::Network net = make_test_net(3);
+  const auto graph = microdeep::UnitGraph::build(net, {1, 6, 6});
+  const auto wsn = microdeep::WsnTopology::grid({0.0, 0.0, 6.0, 6.0}, 3, 3);
+  auto run_search = [&](std::size_t threads, obs::Observability& obs) {
+    ThreadPool pool(threads);
+    microdeep::AssignmentSearchOptions opts;
+    opts.pool = &pool;
+    return microdeep::search_assignment(graph, wsn, opts, &obs);
+  };
+  obs::Observability obs1, obs4;
+  const auto r1 = run_search(1, obs1);
+  const auto r4 = run_search(4, obs4);
+  EXPECT_EQ(r1.best_index, r4.best_index);
+  EXPECT_EQ(r1.best_max_cost, r4.best_max_cost);
+  ASSERT_EQ(r1.candidates.size(), r4.candidates.size());
+  for (std::size_t i = 0; i < r1.candidates.size(); ++i) {
+    EXPECT_EQ(r1.candidates[i].label, r4.candidates[i].label);
+    EXPECT_EQ(r1.candidates[i].max_cost, r4.candidates[i].max_cost);
+    EXPECT_EQ(r1.candidates[i].mean_cost, r4.candidates[i].mean_cost);
+  }
+  for (microdeep::UnitId u = 0; u < graph.num_units(); ++u) {
+    EXPECT_EQ(r1.best.node_of(u), r4.best.node_of(u));
+  }
+  // The published gauges (and therefore the metrics JSON) agree too.
+  EXPECT_EQ(obs1.metrics().to_json(), obs4.metrics().to_json());
+}
+
+TEST(Determinism, ExecutorTraceDigestMatchesAcrossPoolSizes) {
+  // End-to-end probe: train with a pool of 1 vs 4, then run the distributed
+  // executor over the resulting weights with tracing on.  Identical weights
+  // and assignment must give identical traces (bit-exact digest).
+  auto digest_with = [&](std::size_t threads) {
+    ThreadPool pool(threads);
+    ml::Network net = make_test_net(7);
+    ml::Adam opt(0.01);
+    ml::Trainer trainer(net, opt, Rng(11), &pool);
+    ml::TrainConfig cfg;
+    cfg.epochs = 2;
+    cfg.batch_size = 16;
+    cfg.shard_grain = 4;
+    trainer.fit(make_test_data(48, 33), {}, cfg);
+    const auto graph = microdeep::UnitGraph::build(net, {1, 6, 6});
+    const auto wsn = microdeep::WsnTopology::grid({0.0, 0.0, 6.0, 6.0}, 3, 3);
+    const auto assignment = microdeep::assign_balanced_heuristic(graph, wsn);
+    ml::Tensor sample({1, 6, 6});
+    Rng srng(5);
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      sample[i] = static_cast<float>(srng.uniform(-1.0, 1.0));
+    }
+    obs::Observability obs;
+    microdeep::execute_distributed(net, graph, assignment, wsn, sample,
+                                   microdeep::LatencyModel{}, &obs);
+    return obs.trace().digest();
+  };
+  EXPECT_EQ(digest_with(1), digest_with(4));
+}
+
+TEST(Determinism, MergedMetricsRegistriesMatchAcrossPoolSizes) {
+  // The bench-sweep pattern: per-point registries merged in point order.
+  auto sweep_json = [&](std::size_t threads) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kPoints = 6;
+    std::vector<obs::MetricsRegistry> per(kPoints);
+    parallel_for(
+        kPoints,
+        [&](std::size_t i) {
+          per[i].counter("sweep.work", {{"point", std::to_string(i)}})
+              .inc(static_cast<double>(i + 1));
+          per[i].gauge("sweep.value").set(static_cast<double>(i * i));
+        },
+        &pool, 1);
+    obs::MetricsRegistry merged;
+    for (const auto& r : per) merged.merge(r);
+    return merged.to_json();
+  };
+  EXPECT_EQ(sweep_json(1), sweep_json(4));
+}
