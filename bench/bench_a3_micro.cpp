@@ -1,10 +1,19 @@
 // A3 — Microbenchmarks of the hot substrate paths (google-benchmark):
-// CNN layer forward/backward, the event-queue kernel, RNG, the 802.11ac
-// compressed-feedback pipeline, and the comm-cost computation.
+// CNN layer forward/backward (GEMM and retained naive reference), the raw
+// GEMM/im2col kernels, the event-queue kernel, RNG, the 802.11ac
+// compressed-feedback pipeline, and the comm-cost computation.  After the
+// timed runs, main() re-measures the same workloads with a coarse
+// wall-clock and publishes them as perf.* gauges in the metrics JSON —
+// the series tools/bench_compare diffs between runs.
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "bench_report.hpp"
 #include "microdeep/comm_cost.hpp"
+#include "ml/kernels/gemm.hpp"
+#include "ml/kernels/im2col.hpp"
+#include "ml/kernels/reference.hpp"
 #include "phy/beamforming.hpp"
 #include "sim/simulator.hpp"
 
@@ -45,6 +54,22 @@ void BM_Conv2DBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_Conv2DBackward);
 
+void BM_Conv2DForwardNaive(benchmark::State& state) {
+  Rng rng(1);
+  const ml::Tensor w = [&] {
+    ml::Tensor t({8, 4, 3, 3});
+    t.he_init(rng, 4 * 3 * 3);
+    return t;
+  }();
+  const ml::Tensor b({8});
+  const ml::Tensor x = random_tensor({8, 4, 17, 25}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::kernels::reference::conv2d_forward(x, w, b, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_Conv2DForwardNaive);
+
 void BM_DenseForward(benchmark::State& state) {
   Rng rng(1);
   ml::Dense dense(384, 32, rng);
@@ -55,6 +80,46 @@ void BM_DenseForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 32);
 }
 BENCHMARK(BM_DenseForward);
+
+void BM_DenseBackward(benchmark::State& state) {
+  Rng rng(1);
+  ml::Dense dense(384, 32, rng);
+  const ml::Tensor x = random_tensor({32, 384}, 2);
+  const ml::Tensor y = dense.forward(x, true);
+  const ml::Tensor g = random_tensor(y.shape(), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dense.backward(g));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_DenseBackward);
+
+// Raw kernels on the BM_Conv2DForward geometry: weight (8 x 36) times the
+// packed panel (36 x 425) per image.
+void BM_Gemm(benchmark::State& state) {
+  const int m = 8, k = 36, n = 425;
+  const ml::Tensor a = random_tensor({m, k}, 2);
+  const ml::Tensor b = random_tensor({k, n}, 3);
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+  for (auto _ : state) {
+    ml::kernels::sgemm_accum(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);  // flops
+}
+BENCHMARK(BM_Gemm);
+
+void BM_Im2col(benchmark::State& state) {
+  const ml::Tensor x = random_tensor({4, 17, 25}, 2);
+  std::vector<float> cols(static_cast<std::size_t>(4 * 3 * 3) * 17 * 25);
+  for (auto _ : state) {
+    ml::kernels::im2col(x.data(), 4, 17, 25, 3, 1, 17, 25, cols.data());
+    benchmark::DoNotOptimize(cols.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(cols.size()));  // floats packed
+}
+BENCHMARK(BM_Im2col);
 
 void BM_MaxPoolForward(benchmark::State& state) {
   ml::MaxPool2D pool(2);
@@ -119,6 +184,31 @@ void BM_CommCost(benchmark::State& state) {
 }
 BENCHMARK(BM_CommCost);
 
+// Same evaluation through the bounded entry point with an explicit reused
+// scratch — the assignment-search inner loop.
+void BM_CommCostReusedScratch(benchmark::State& state) {
+  Rng rng(1);
+  ml::Network net;
+  net.emplace<ml::Conv2D>(1, 4, 3, 1, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::MaxPool2D>(2);
+  net.emplace<ml::Flatten>();
+  net.emplace<ml::Dense>(4 * 8 * 12, 8, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::Dense>(8, 2, rng);
+  const auto g = microdeep::UnitGraph::build(net, {1, 17, 25});
+  Rng wsn_rng(2);
+  const auto wsn = microdeep::WsnTopology::jittered_grid(
+      {0.0, 0.0, 50.0, 34.0}, 10, 5, wsn_rng);
+  const auto a = microdeep::assign_balanced_heuristic(g, wsn);
+  microdeep::CommCostScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        microdeep::compute_comm_cost_bounded(a, wsn, {}, scratch));
+  }
+}
+BENCHMARK(BM_CommCostReusedScratch);
+
 void BM_UnitGraphBuild(benchmark::State& state) {
   Rng rng(1);
   ml::Network net;
@@ -165,6 +255,99 @@ int main(int argc, char** argv) {
         {0.0, 0.0, 50.0, 34.0}, 10, 5, wsn_rng);
     const auto a = microdeep::assign_balanced_heuristic(g, wsn);
     (void)microdeep::compute_comm_cost(a, wsn, {}, &obs);
+
+    // perf.* gauges: one coarse wall-clock sample per hot path, on the
+    // same workloads as the google-benchmark runs above.  These land in
+    // the metrics JSON so tools/bench_compare can diff two runs.
+    {
+      Rng lrng(1);
+      ml::Conv2D conv(4, 8, 3, 1, lrng);
+      const ml::Tensor cx = random_tensor({8, 4, 17, 25}, 2);
+      const ml::Tensor cy = conv.forward(cx, true);
+      const ml::Tensor cg = random_tensor(cy.shape(), 3);
+      bench::record_perf(
+          obs, "conv2d_forward",
+          bench::time_workload([&] { (void)conv.forward(cx, false); }), 8.0);
+      bench::record_perf(obs, "conv2d_backward",
+                         bench::time_workload([&] { (void)conv.backward(cg); }),
+                         8.0);
+      const ml::Tensor cw = random_tensor({8, 4, 3, 3}, 4);
+      const ml::Tensor cb({8});
+      bench::record_perf(obs, "conv2d_forward_naive",
+                         bench::time_workload([&] {
+                           (void)ml::kernels::reference::conv2d_forward(
+                               cx, cw, cb, 1);
+                         }),
+                         8.0);
+
+      ml::Dense dense(384, 32, lrng);
+      const ml::Tensor dx = random_tensor({32, 384}, 5);
+      const ml::Tensor dy = dense.forward(dx, true);
+      const ml::Tensor dg = random_tensor(dy.shape(), 6);
+      bench::record_perf(
+          obs, "dense_forward",
+          bench::time_workload([&] { (void)dense.forward(dx, false); }, 50),
+          32.0);
+      bench::record_perf(
+          obs, "dense_backward",
+          bench::time_workload([&] { (void)dense.backward(dg); }, 50), 32.0);
+      const ml::Tensor dw = random_tensor({32, 384}, 7);
+      const ml::Tensor db({32});
+      bench::record_perf(obs, "dense_forward_naive",
+                         bench::time_workload(
+                             [&] {
+                               (void)ml::kernels::reference::dense_forward(
+                                   dx, dw, db);
+                             },
+                             50),
+                         32.0);
+
+      ml::MaxPool2D pool(2);
+      const ml::Tensor px = random_tensor({8, 8, 16, 24}, 8);
+      bench::record_perf(
+          obs, "maxpool_forward",
+          bench::time_workload([&] { (void)pool.forward(px, false); }, 20),
+          8.0);
+
+      const int gm = 8, gk = 36, gn = 425;
+      const ml::Tensor ga = random_tensor({gm, gk}, 9);
+      const ml::Tensor gb2 = random_tensor({gk, gn}, 10);
+      std::vector<float> gc(static_cast<std::size_t>(gm) * gn, 0.0f);
+      bench::record_perf(obs, "gemm",
+                         bench::time_workload(
+                             [&] {
+                               ml::kernels::sgemm_accum(gm, gn, gk, ga.data(),
+                                                        gk, gb2.data(), gn,
+                                                        gc.data(), gn);
+                             },
+                             200),
+                         2.0 * gm * gn * gk);
+      const ml::Tensor ix = random_tensor({4, 17, 25}, 11);
+      std::vector<float> cols(static_cast<std::size_t>(4 * 3 * 3) * 17 * 25);
+      bench::record_perf(obs, "im2col",
+                         bench::time_workload(
+                             [&] {
+                               ml::kernels::im2col(ix.data(), 4, 17, 25, 3, 1,
+                                                   17, 25, cols.data());
+                             },
+                             200),
+                         static_cast<double>(cols.size()));
+
+      bench::record_perf(
+          obs, "comm_cost",
+          bench::time_workload([&] { (void)microdeep::compute_comm_cost(a, wsn); },
+                               50),
+          1.0);
+      microdeep::CommCostScratch scratch;
+      bench::record_perf(obs, "comm_cost_scratch",
+                         bench::time_workload(
+                             [&] {
+                               (void)microdeep::compute_comm_cost_bounded(
+                                   a, wsn, {}, scratch);
+                             },
+                             50),
+                         1.0);
+    }
   }
   bench::write_bench_report("bench_a3_micro", obs);
   return 0;

@@ -16,6 +16,7 @@
 // two runs of the same binary differ only in wall-time summaries.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <string>
@@ -28,6 +29,31 @@
 #include "sim/simulator.hpp"
 
 namespace zeiot::bench {
+
+/// Records a wall-clock perf sample as the standard gauge pair
+/// `perf.<key>.wall_s` / `perf.<key>.items_per_s`.  These are the series
+/// tools/bench_compare diffs between runs, so keys must stay stable.
+inline void record_perf(obs::Observability& obs, const std::string& key,
+                        double wall_seconds, double items = 0.0) {
+  obs.metrics().gauge("perf." + key + ".wall_s").set(wall_seconds);
+  if (items > 0.0 && wall_seconds > 0.0) {
+    obs.metrics()
+        .gauge("perf." + key + ".items_per_s")
+        .set(items / wall_seconds);
+  }
+}
+
+/// Times `fn()` over `repeats` calls (after one untimed warmup) and returns
+/// the mean wall-clock seconds per call.
+template <typename Fn>
+double time_workload(Fn&& fn, int repeats = 5) {
+  fn();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < repeats; ++i) fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count() /
+         static_cast<double>(repeats);
+}
 
 /// Runs `fn(i, point_obs)` for sweep points 0..points-1 on the worker pool.
 /// Each point records into a private Observability; after the sweep the

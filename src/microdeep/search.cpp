@@ -1,5 +1,7 @@
 #include "microdeep/search.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <optional>
 #include <utility>
 
@@ -62,63 +64,101 @@ AssignmentSearchResult search_assignment(const UnitGraph& graph,
 
   struct Scored {
     Assignment assignment;
-    CommCostReport report;
+    std::optional<CommCostReport> report;  // nullopt = abandoned early
   };
   std::vector<std::optional<Scored>> scored(specs.size());
 
-  par::parallel_for(
-      specs.size(),
-      [&](std::size_t i) {
-        const CandidateSpec& spec = specs[i];
-        Assignment a = [&] {
-          if (spec.nearest) {
-            return Assignment(&graph, base_seed);
-          }
-          std::vector<NodeId> seed = base_seed;
-          if (spec.jitter) {
-            // Substream keyed by candidate index: the perturbation depends
-            // only on (opts.seed, i), never on which worker runs it.
-            Rng rng = par::substream(base_rng, static_cast<std::uint64_t>(i));
-            for (NodeId& n : seed) {
-              const auto& nbrs = wsn.neighbors(n);
-              if (!nbrs.empty() && rng.bernoulli(opts.jitter_probability)) {
-                n = nbrs[static_cast<std::size_t>(rng.uniform_int(
-                    0, static_cast<std::int64_t>(nbrs.size()) - 1))];
+  // Candidates are evaluated in fixed-size waves.  The early-exit bound is
+  // the best complete score of all PREVIOUS waves, frozen for the wave's
+  // duration — a racy shared incumbent would make abort decisions (and the
+  // recorded scores) depend on evaluation timing, i.e. the worker count.
+  // The true winner never aborts: while it is being scored its running max
+  // never exceeds its final cost, which is <= every earlier incumbent.
+  constexpr std::size_t kWaveSize = 8;
+  const double kInf = std::numeric_limits<double>::infinity();
+  double incumbent = kInf;
+  for (std::size_t wave = 0; wave < specs.size(); wave += kWaveSize) {
+    const std::size_t wave_end = std::min(specs.size(), wave + kWaveSize);
+    const double bound = opts.early_exit ? incumbent : kInf;
+    par::parallel_for(
+        wave_end - wave,
+        [&](std::size_t w) {
+          const std::size_t i = wave + w;
+          const CandidateSpec& spec = specs[i];
+          Assignment a = [&] {
+            if (spec.nearest) {
+              return Assignment(&graph, base_seed);
+            }
+            std::vector<NodeId> seed = base_seed;
+            if (spec.jitter) {
+              // Substream keyed by candidate index: the perturbation depends
+              // only on (opts.seed, i), never on which worker runs it.
+              Rng rng =
+                  par::substream(base_rng, static_cast<std::uint64_t>(i));
+              for (NodeId& n : seed) {
+                const auto& nbrs = wsn.neighbors(n);
+                if (!nbrs.empty() && rng.bernoulli(opts.jitter_probability)) {
+                  n = nbrs[static_cast<std::size_t>(rng.uniform_int(
+                      0, static_cast<std::int64_t>(nbrs.size()) - 1))];
+                }
               }
             }
-          }
-          return assign_balanced_heuristic_from(graph, wsn, std::move(seed),
-                                                spec.slack);
-        }();
-        // Score without obs: gauges are last-write-wins and would race;
-        // the winner's numbers are published once below.
-        CommCostReport r = compute_comm_cost(a, wsn, opts.cost_options);
-        scored[i].emplace(Scored{std::move(a), std::move(r)});
-      },
-      opts.pool, /*grain=*/1);
+            return assign_balanced_heuristic_from(graph, wsn, std::move(seed),
+                                                  spec.slack);
+          }();
+          // Score without obs: gauges are last-write-wins and would race;
+          // the winner's numbers are published once below.  The dedup
+          // scratch is reused across every candidate this worker scores.
+          thread_local CommCostScratch scratch;
+          auto r = compute_comm_cost_bounded(a, wsn, opts.cost_options,
+                                             scratch, bound);
+          scored[i].emplace(Scored{std::move(a), std::move(r)});
+        },
+        opts.pool, /*grain=*/1);
+    for (std::size_t i = wave; i < wave_end; ++i) {
+      if (scored[i]->report && scored[i]->report->max_cost < incumbent) {
+        incumbent = scored[i]->report->max_cost;
+      }
+    }
+  }
 
   // Winner by (max_cost, candidate index): scanning in candidate order with
   // a strict `<` makes ties resolve to the lowest index regardless of the
-  // evaluation schedule.
+  // evaluation schedule.  Abandoned candidates score +inf and are provably
+  // worse than the incumbent that abandoned them.
+  auto cost_of = [&](std::size_t i) {
+    return scored[i]->report ? scored[i]->report->max_cost : kInf;
+  };
   std::size_t best = 0;
   for (std::size_t i = 1; i < specs.size(); ++i) {
-    if (scored[i]->report.max_cost < scored[best]->report.max_cost) best = i;
+    if (cost_of(i) < cost_of(best)) best = i;
   }
+  ZEIOT_CHECK_MSG(scored[best]->report.has_value(),
+                  "search winner cannot be an aborted candidate");
 
   AssignmentSearchResult res{std::move(scored[best]->assignment),
                              best,
-                             scored[best]->report.max_cost,
-                             scored[best]->report.mean_cost,
+                             scored[best]->report->max_cost,
+                             scored[best]->report->mean_cost,
                              {}};
   res.candidates.reserve(specs.size());
+  std::size_t aborted = 0;
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    res.candidates.push_back({specs[i].label, scored[i]->report.max_cost,
-                              scored[i]->report.mean_cost});
+    const auto& rep = scored[i]->report;
+    if (rep) {
+      res.candidates.push_back(
+          {specs[i].label, rep->max_cost, rep->mean_cost, /*aborted=*/false});
+    } else {
+      res.candidates.push_back({specs[i].label, kInf, kInf, /*aborted=*/true});
+      ++aborted;
+    }
   }
   if (obs != nullptr) {
     auto& m = obs->metrics();
     m.gauge("microdeep.search.candidates")
         .set(static_cast<double>(specs.size()));
+    m.gauge("microdeep.search.aborted_candidates")
+        .set(static_cast<double>(aborted));
     m.gauge("microdeep.search.best_index").set(static_cast<double>(best));
     m.gauge("microdeep.search.best_max_cost").set(res.best_max_cost);
     // Re-publish the winner's comm-cost gauges under the standard keys.

@@ -40,6 +40,13 @@ struct AssignmentSearchOptions {
   CommCostOptions cost_options{};
   /// Worker pool (null = par::global_pool(), honours ZEIOT_THREADS).
   par::ThreadPool* pool = nullptr;
+  /// Abandon a candidate as soon as its running max per-node cost exceeds
+  /// the best complete score seen so far.  Candidates are evaluated in
+  /// fixed-size waves with the incumbent bound frozen per wave, so which
+  /// candidates abort — and every reported score — is independent of the
+  /// worker count.  The winner can never abort: its running max is bounded
+  /// by its final cost, which is at most the incumbent.
+  bool early_exit = true;
 };
 
 /// Score of one evaluated candidate, in candidate order.
@@ -47,6 +54,9 @@ struct AssignmentCandidateScore {
   std::string label;
   double max_cost = 0.0;
   double mean_cost = 0.0;
+  /// True when early exit abandoned this candidate; max_cost/mean_cost are
+  /// then +infinity (the candidate was already worse than the incumbent).
+  bool aborted = false;
 };
 
 struct AssignmentSearchResult {

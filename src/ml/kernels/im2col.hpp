@@ -1,0 +1,25 @@
+// im2col / col2im packing for convolution-as-GEMM (stride 1, symmetric
+// zero padding — the only convolution geometry the CNN substrate uses).
+//
+// The column matrix is (channels * kernel * kernel) rows by (oh * ow)
+// columns, row index r = (ic * kernel + ky) * kernel + kx — the same
+// (ic, ky, kx) order as the Conv2D weight layout, so the packed panel
+// multiplies directly against the (out_channels x K) weight matrix.
+// Padding cells are materialised as zeros; each interior row segment is a
+// straight std::copy of the input row, so packing runs at memcpy speed.
+#pragma once
+
+namespace zeiot::ml::kernels {
+
+/// Packs one (channels x h x w) image into `out` (K x P, row-major) where
+/// K = channels * kernel * kernel and P = oh * ow.
+void im2col(const float* x, int channels, int h, int w, int kernel, int pad,
+            int oh, int ow, float* out);
+
+/// Scatter-adds a column matrix (same geometry as im2col) back into the
+/// (channels x h x w) image gradient `gx` — the col2im half of the
+/// data-gradient GEMM.  Accumulates: callers zero `gx` beforehand.
+void col2im_accum(const float* cols, int channels, int h, int w, int kernel,
+                  int pad, int oh, int ow, float* gx);
+
+}  // namespace zeiot::ml::kernels

@@ -1,0 +1,108 @@
+#include "ml/kernels/reference.hpp"
+
+namespace zeiot::ml::kernels::reference {
+
+Tensor conv2d_forward(const Tensor& x, const Tensor& weight,
+                      const Tensor& bias, int pad) {
+  const int n = x.dim(0), ic_n = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oc_n = weight.dim(0), k = weight.dim(2);
+  const int oh = h + 2 * pad - k + 1;
+  const int ow = w + 2 * pad - k + 1;
+  ZEIOT_CHECK_MSG(oh > 0 && ow > 0, "conv2d output would be empty");
+  Tensor y({n, oc_n, oh, ow});
+  for (int b = 0; b < n; ++b) {
+    for (int oc = 0; oc < oc_n; ++oc) {
+      const float bv = bias[static_cast<std::size_t>(oc)];
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          float acc = bv;
+          for (int ic = 0; ic < ic_n; ++ic) {
+            for (int ky = 0; ky < k; ++ky) {
+              const int iy = oy + ky - pad;
+              if (iy < 0 || iy >= h) continue;
+              for (int kx = 0; kx < k; ++kx) {
+                const int ix = ox + kx - pad;
+                if (ix < 0 || ix >= w) continue;
+                acc += x.at({b, ic, iy, ix}) * weight.at({oc, ic, ky, kx});
+              }
+            }
+          }
+          y.at({b, oc, oy, ox}) = acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor conv2d_backward(const Tensor& x, const Tensor& weight,
+                       const Tensor& grad_y, int pad, Tensor& gw, Tensor& gb) {
+  const int n = x.dim(0), ic_n = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oc_n = weight.dim(0), k = weight.dim(2);
+  const int oh = grad_y.dim(2), ow = grad_y.dim(3);
+  Tensor grad_x = Tensor::zeros_like(x);
+  for (int b = 0; b < n; ++b) {
+    for (int oc = 0; oc < oc_n; ++oc) {
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          const float g = grad_y.at({b, oc, oy, ox});
+          if (g == 0.0f) continue;
+          gb[static_cast<std::size_t>(oc)] += g;
+          for (int ic = 0; ic < ic_n; ++ic) {
+            for (int ky = 0; ky < k; ++ky) {
+              const int iy = oy + ky - pad;
+              if (iy < 0 || iy >= h) continue;
+              for (int kx = 0; kx < k; ++kx) {
+                const int ix = ox + kx - pad;
+                if (ix < 0 || ix >= w) continue;
+                gw.at({oc, ic, ky, kx}) += g * x.at({b, ic, iy, ix});
+                grad_x.at({b, ic, iy, ix}) += g * weight.at({oc, ic, ky, kx});
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_x;
+}
+
+Tensor dense_forward(const Tensor& x, const Tensor& weight,
+                     const Tensor& bias) {
+  const int n = x.dim(0), in = x.dim(1), out = weight.dim(0);
+  Tensor y({n, out});
+  for (int b = 0; b < n; ++b) {
+    const float* xb = x.data() + static_cast<std::size_t>(b) * in;
+    for (int o = 0; o < out; ++o) {
+      const float* wrow = weight.data() + static_cast<std::size_t>(o) * in;
+      float acc = bias[static_cast<std::size_t>(o)];
+      for (int i = 0; i < in; ++i) acc += wrow[i] * xb[i];
+      y.at({b, o}) = acc;
+    }
+  }
+  return y;
+}
+
+Tensor dense_backward(const Tensor& x, const Tensor& weight,
+                      const Tensor& grad_y, Tensor& gw, Tensor& gb) {
+  const int n = x.dim(0), in = x.dim(1), out = weight.dim(0);
+  Tensor grad_x({n, in});
+  for (int b = 0; b < n; ++b) {
+    const float* xb = x.data() + static_cast<std::size_t>(b) * in;
+    float* gxb = grad_x.data() + static_cast<std::size_t>(b) * in;
+    for (int o = 0; o < out; ++o) {
+      const float g = grad_y.at({b, o});
+      if (g == 0.0f) continue;
+      gb[static_cast<std::size_t>(o)] += g;
+      float* gwrow = gw.data() + static_cast<std::size_t>(o) * in;
+      const float* wrow = weight.data() + static_cast<std::size_t>(o) * in;
+      for (int i = 0; i < in; ++i) {
+        gwrow[i] += g * xb[i];
+        gxb[i] += g * wrow[i];
+      }
+    }
+  }
+  return grad_x;
+}
+
+}  // namespace zeiot::ml::kernels::reference

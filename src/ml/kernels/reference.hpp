@@ -1,0 +1,31 @@
+// Naive reference kernels — the original straight-loop Conv2D/Dense
+// implementations, retained verbatim as the ground truth the GEMM-backed
+// layers are property-tested against (tests/test_ml_kernels.cpp).  They are
+// also the easiest place to audit the exact arithmetic against the
+// per-unit distributed version in src/microdeep.  Not used on any hot path.
+#pragma once
+
+#include "ml/tensor.hpp"
+
+namespace zeiot::ml::kernels::reference {
+
+/// y (n, oc, oh, ow) = conv2d(x (n, ic, h, w), weight (oc, ic, k, k)) +
+/// bias (oc); stride 1, symmetric zero padding `pad`.
+Tensor conv2d_forward(const Tensor& x, const Tensor& weight,
+                      const Tensor& bias, int pad);
+
+/// Backward of conv2d_forward: returns dL/dx and ACCUMULATES dL/dweight and
+/// dL/dbias into `gw` / `gb` (matching the Layer::backward contract of
+/// accumulating parameter gradients across calls).
+Tensor conv2d_backward(const Tensor& x, const Tensor& weight,
+                       const Tensor& grad_y, int pad, Tensor& gw, Tensor& gb);
+
+/// y (n, out) = x (n, in) * weight^T (out, in) + bias (out).
+Tensor dense_forward(const Tensor& x, const Tensor& weight,
+                     const Tensor& bias);
+
+/// Backward of dense_forward: returns dL/dx, accumulates into `gw` / `gb`.
+Tensor dense_backward(const Tensor& x, const Tensor& weight,
+                      const Tensor& grad_y, Tensor& gw, Tensor& gb);
+
+}  // namespace zeiot::ml::kernels::reference

@@ -1,0 +1,57 @@
+// Bump-allocated float arena for kernel scratch buffers (im2col panels,
+// transposed weight copies, per-chunk gradient partials).
+//
+// The hot CNN paths reuse one arena per Network instead of allocating
+// per-batch temporaries: a layer call is
+//
+//   ws.reset();                 // forget the previous layer's carvings
+//   ws.require(total_floats);   // grow once, BEFORE any alloc()
+//   float* a = ws.alloc(n0);    // O(1) pointer bumps, stable until reset()
+//   float* b = ws.alloc(n1);
+//
+// require() may reallocate the backing store, so it must precede every
+// alloc() of the call; alloc() itself never reallocates, which is what
+// makes the carved pointers safe to hand to concurrent worker chunks.
+// Memory returned by alloc() is NOT zeroed — callers initialise it
+// (bias prefill, std::fill) as part of the kernel.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace zeiot::ml::kernels {
+
+class Workspace {
+ public:
+  /// Starts a new carving sequence; previously alloc()ed pointers are
+  /// invalidated logically (the memory is reused by the next alloc()s).
+  void reset() { used_ = 0; }
+
+  /// Ensures capacity for `floats` total elements.  Must be called with no
+  /// outstanding carvings (directly after reset()): growth reallocates.
+  void require(std::size_t floats) {
+    ZEIOT_CHECK_MSG(used_ == 0, "workspace require() after alloc()");
+    if (buf_.size() < floats) buf_.resize(floats);
+  }
+
+  /// Carves `floats` elements out of the reserved block (uninitialised).
+  float* alloc(std::size_t floats) {
+    ZEIOT_CHECK_MSG(used_ + floats <= buf_.size(),
+                    "workspace overflow: " << used_ << " + " << floats
+                                           << " > " << buf_.size());
+    float* p = buf_.data() + used_;
+    used_ += floats;
+    return p;
+  }
+
+  std::size_t capacity() const { return buf_.size(); }
+  std::size_t used() const { return used_; }
+
+ private:
+  std::vector<float> buf_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace zeiot::ml::kernels

@@ -1,18 +1,26 @@
 // Neural-network layers for the from-scratch CNN substrate.
 //
 // Data layout is NCHW (batch, channels, height, width) for spatial layers
-// and (batch, features) for dense layers.  Implementations are straight
-// loops: the sensing workloads in this library use grids of a few hundred
-// cells, where naive convolution is more than fast enough and keeps the
-// exact arithmetic easy to audit against the distributed (per-unit) version
-// in src/microdeep.
+// and (batch, features) for dense layers.  Conv2D and Dense run as GEMMs
+// (im2col packing + the cache-blocked kernels in ml/kernels), with scratch
+// carved from a per-Network workspace arena and the batch chunked over
+// zeiot::par.  Chunk layouts and summation orders are pure functions of
+// the shapes, so results are bit-identical at any thread count.  The
+// original straight-loop arithmetic is retained in ml/kernels/reference.hpp
+// as the audited ground truth the GEMM path is property-tested against.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "ml/kernels/workspace.hpp"
 #include "ml/tensor.hpp"
+
+namespace zeiot::par {
+class ThreadPool;
+}  // namespace zeiot::par
 
 namespace zeiot::ml {
 
@@ -44,6 +52,36 @@ class Layer {
   virtual std::unique_ptr<Layer> clone() const = 0;
   /// True when forward(x, /*train=*/true) consumes shared RNG state.
   virtual bool rng_forward() const { return false; }
+
+  /// Binds the scratch arena this layer carves kernel temporaries from.
+  /// Owned by the enclosing Network; standalone layers fall back to a
+  /// private arena on first use.  The binding is transient: layer copies
+  /// (clone) start unbound and are re-bound by their new owner.
+  void set_workspace(kernels::Workspace* ws) { workspace_ = ws; }
+  /// Binds the thread pool batch-parallel kernels run on (null = global
+  /// pool).  Transient, like set_workspace().
+  void set_pool(par::ThreadPool* pool) { pool_ = pool; }
+
+ protected:
+  Layer() = default;
+  /// Workspace/pool bindings and the private arena are deliberately NOT
+  /// copied: a cloned layer must not share scratch memory with its source
+  /// (replicas run concurrently in the trainer).
+  Layer(const Layer&) noexcept {}
+  Layer& operator=(const Layer&) noexcept { return *this; }
+
+  /// The bound arena, or a lazily created private one when standalone.
+  kernels::Workspace& scratch() {
+    if (workspace_ != nullptr) return *workspace_;
+    if (!local_ws_) local_ws_ = std::make_unique<kernels::Workspace>();
+    return *local_ws_;
+  }
+
+  par::ThreadPool* pool_ = nullptr;
+
+ private:
+  kernels::Workspace* workspace_ = nullptr;
+  std::unique_ptr<kernels::Workspace> local_ws_;
 };
 
 /// 2-D convolution, stride 1, symmetric zero padding.
@@ -111,7 +149,9 @@ class ReLU final : public Layer {
   }
 
  private:
-  std::vector<bool> mask_;
+  std::vector<std::uint8_t> mask_;  // 1 where x > 0 (byte mask: bit access
+                                    // in vector<bool> defeats the pointer
+                                    // loops and is not addressable)
 };
 
 /// Collapses (N,C,H,W) (or any rank) to (N, features).

@@ -6,8 +6,15 @@ namespace zeiot::ml {
 
 Layer& Network::add(std::unique_ptr<Layer> layer) {
   ZEIOT_CHECK_MSG(layer != nullptr, "cannot add null layer");
+  layer->set_workspace(workspace_.get());
+  layer->set_pool(pool_);
   layers_.push_back(std::move(layer));
   return *layers_.back();
+}
+
+void Network::set_pool(par::ThreadPool* pool) {
+  pool_ = pool;
+  for (auto& l : layers_) l->set_pool(pool);
 }
 
 Layer& Network::layer(std::size_t i) {
@@ -50,7 +57,15 @@ void Network::zero_grads() {
 
 Network Network::clone() const {
   Network copy;
-  for (const auto& l : layers_) copy.layers_.push_back(l->clone());
+  copy.pool_ = pool_;
+  for (const auto& l : layers_) {
+    // Clones arrive unbound (Layer copies drop transient bindings); each
+    // replica gets its OWN arena so concurrent replicas never share scratch.
+    auto cl = l->clone();
+    cl->set_workspace(copy.workspace_.get());
+    cl->set_pool(copy.pool_);
+    copy.layers_.push_back(std::move(cl));
+  }
   return copy;
 }
 

@@ -17,7 +17,8 @@ class Network {
   Network(Network&&) = default;
   Network& operator=(Network&&) = default;
 
-  /// Appends a layer; returns a reference for further configuration.
+  /// Appends a layer; returns a reference for further configuration.  The
+  /// layer is bound to this network's workspace arena and thread pool.
   Layer& add(std::unique_ptr<Layer> layer);
 
   template <typename L, typename... Args>
@@ -57,8 +58,22 @@ class Network {
   /// shape — index 0 is the input itself, index i+1 the output of layer i.
   std::vector<std::vector<int>> shape_trace(const std::vector<int>& input) const;
 
+  /// Binds the thread pool the layers' batch-parallel kernels run on
+  /// (null = global pool, sized by ZEIOT_THREADS).  Propagates to every
+  /// current and future layer.
+  void set_pool(par::ThreadPool* pool);
+  par::ThreadPool* pool() const { return pool_; }
+
+  /// The scratch arena shared by this network's layers.  Held behind a
+  /// unique_ptr so its address survives Network moves (the trainer moves
+  /// replica networks into vectors) while layer bindings stay valid.
+  kernels::Workspace& workspace() { return *workspace_; }
+
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  std::unique_ptr<kernels::Workspace> workspace_ =
+      std::make_unique<kernels::Workspace>();
+  par::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace zeiot::ml

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "microdeep/comm_cost.hpp"
+#include "microdeep/search.hpp"
 
 namespace zeiot::microdeep {
 namespace {
@@ -151,4 +152,135 @@ TEST(CommCostExact, RelayChargedOnThreeNodeLine) {
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Determinism / fast-path regression tests.
+//
+// The load-aware route charging used to iterate an unordered_map of dense
+// sources, so per_node/max_cost depended on stdlib hash iteration order.
+// Dense units are now charged in ascending UnitId order with sorted source
+// lists; these tests pin that down along with the bounded/scratch path.
+
+namespace {
+
+/// A 4x3 jittered grid with a mixed conv+dense net: big enough that dense
+/// units have multi-node source sets (where the ordering bug lived).
+struct MediumWorld {
+  MediumWorld()
+      : wsn(make_wsn()),
+        rng(7),
+        net(make_net(rng)),
+        graph(UnitGraph::build(net, {1, 3, 4})) {}
+
+  static WsnTopology make_wsn() {
+    Rng wsn_rng(5);
+    return WsnTopology::jittered_grid({0.0, 0.0, 4.0, 3.0}, 4, 3, wsn_rng);
+  }
+  static ml::Network make_net(Rng& rng) {
+    ml::Network net;
+    net.emplace<ml::Conv2D>(1, 2, 3, 1, rng);
+    net.emplace<ml::ReLU>();
+    net.emplace<ml::Flatten>();
+    net.emplace<ml::Dense>(2 * 3 * 4, 4, rng);
+    net.emplace<ml::Dense>(4, 2, rng);
+    return net;
+  }
+
+  WsnTopology wsn;
+  Rng rng;
+  ml::Network net;
+  UnitGraph graph;
+};
+
+void expect_reports_identical(const CommCostReport& a,
+                              const CommCostReport& b) {
+  ASSERT_EQ(a.per_node.size(), b.per_node.size());
+  for (std::size_t i = 0; i < a.per_node.size(); ++i) {
+    EXPECT_EQ(a.per_node[i], b.per_node[i]) << "per_node[" << i << "]";
+  }
+  EXPECT_EQ(a.max_cost, b.max_cost);
+  EXPECT_EQ(a.mean_cost, b.mean_cost);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.total_hop_transmissions, b.total_hop_transmissions);
+  EXPECT_EQ(a.hottest_node, b.hottest_node);
+}
+
+TEST(CommCostRegression, RepeatedEvaluationsBitIdentical) {
+  MediumWorld w;
+  const auto a = assign_nearest(w.graph, w.wsn);
+  const auto first = compute_comm_cost(a, w.wsn);
+  for (int i = 0; i < 5; ++i) {
+    expect_reports_identical(compute_comm_cost(a, w.wsn), first);
+  }
+}
+
+TEST(CommCostRegression, ReportIndependentOfScratchHistory) {
+  // The same assignment must score identically from a fresh scratch and
+  // from one dirtied by other candidates / aborted evaluations — charging
+  // order is a pure function of the assignment, never of container state.
+  MediumWorld w;
+  const auto a = assign_nearest(w.graph, w.wsn);
+  const auto b = assign_centralized(w.graph, w.wsn, 0);
+  const CommCostOptions opts;
+
+  CommCostScratch fresh;
+  const auto r_fresh = compute_comm_cost_bounded(a, w.wsn, opts, fresh);
+  ASSERT_TRUE(r_fresh.has_value());
+
+  CommCostScratch dirty;
+  (void)compute_comm_cost_bounded(b, w.wsn, opts, dirty);
+  (void)compute_comm_cost_bounded(a, w.wsn, opts, dirty, /*abort_above=*/0.5);
+  const auto r_dirty = compute_comm_cost_bounded(a, w.wsn, opts, dirty);
+  ASSERT_TRUE(r_dirty.has_value());
+  expect_reports_identical(*r_fresh, *r_dirty);
+}
+
+TEST(CommCostRegression, BoundedWithInfiniteBoundMatchesUnbounded) {
+  MediumWorld w;
+  const auto a = assign_nearest(w.graph, w.wsn);
+  const auto r = compute_comm_cost(a, w.wsn);
+  CommCostScratch scratch;
+  const auto rb = compute_comm_cost_bounded(a, w.wsn, {}, scratch);
+  ASSERT_TRUE(rb.has_value());
+  expect_reports_identical(*rb, r);
+}
+
+TEST(CommCostRegression, TinyBoundAborts) {
+  MediumWorld w;
+  // Centralized at a corner node: plenty of traffic, so any sub-1.0 bound
+  // must trip the early exit.
+  const auto a = assign_centralized(w.graph, w.wsn, 0);
+  CommCostScratch scratch;
+  const auto r = compute_comm_cost_bounded(a, w.wsn, {}, scratch,
+                                           /*abort_above=*/0.5);
+  EXPECT_FALSE(r.has_value());
+}
+
+TEST(CommCostRegression, SearchEarlyExitKeepsWinnerAndScore) {
+  MediumWorld w;
+  AssignmentSearchOptions with, without;
+  with.early_exit = true;
+  without.early_exit = false;
+  const auto r1 = search_assignment(w.graph, w.wsn, with);
+  const auto r2 = search_assignment(w.graph, w.wsn, without);
+  EXPECT_EQ(r1.best_index, r2.best_index);
+  EXPECT_EQ(r1.best_max_cost, r2.best_max_cost);
+  EXPECT_EQ(r1.best_mean_cost, r2.best_mean_cost);
+  ASSERT_EQ(r1.best.num_units(), r2.best.num_units());
+  for (UnitId u = 0; u < static_cast<UnitId>(r1.best.num_units()); ++u) {
+    EXPECT_EQ(r1.best.node_of(u), r2.best.node_of(u)) << "unit " << u;
+  }
+  // Non-aborted candidates must carry the same exact scores either way.
+  ASSERT_EQ(r1.candidates.size(), r2.candidates.size());
+  for (std::size_t i = 0; i < r1.candidates.size(); ++i) {
+    if (r1.candidates[i].aborted) continue;
+    EXPECT_EQ(r1.candidates[i].max_cost, r2.candidates[i].max_cost) << i;
+    EXPECT_EQ(r1.candidates[i].mean_cost, r2.candidates[i].mean_cost) << i;
+  }
+  // The winner is never aborted.
+  EXPECT_FALSE(r1.candidates[r1.best_index].aborted);
+}
+
+}  // namespace
+
 }  // namespace zeiot::microdeep

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Diff two zeiot bench metrics JSON files and flag perf regressions.
+
+Compares the perf.* gauge series emitted by the bench binaries
+(perf.<key>.wall_s / perf.<key>.items_per_s):
+
+    tools/bench_compare.py baseline.metrics.json current.metrics.json
+
+A key regresses when wall_s grows (or items_per_s shrinks) by more than
+--threshold (default 0.15 = 15%).  Exit status is 1 when any regression is
+found, unless --warn-only is given (CI uses warn-only against the
+checked-in baseline, which was recorded on different hardware).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_perf_gauges(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "zeiot.obs.v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    gauges = doc.get("metrics", {}).get("gauges", {})
+    out = {}
+    for name, value in gauges.items():
+        if not name.startswith("perf."):
+            continue
+        # Gauge values may be serialized as {"value": x} or a bare number.
+        out[name] = value["value"] if isinstance(value, dict) else value
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="relative regression threshold (default 0.15)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report regressions but exit 0")
+    args = ap.parse_args()
+
+    base = load_perf_gauges(args.baseline)
+    cur = load_perf_gauges(args.current)
+    if not base:
+        sys.exit(f"{args.baseline}: no perf.* gauges found")
+    if not cur:
+        sys.exit(f"{args.current}: no perf.* gauges found")
+
+    regressions = []
+    improvements = []
+    for name in sorted(set(base) & set(cur)):
+        b, c = base[name], cur[name]
+        if b <= 0:
+            continue
+        # wall_s: bigger is worse; items_per_s: smaller is worse.
+        if name.endswith(".wall_s"):
+            rel = (c - b) / b
+        elif name.endswith(".items_per_s"):
+            rel = (b - c) / b
+        else:
+            continue
+        line = f"  {name}: {b:.6g} -> {c:.6g} ({rel:+.1%})"
+        if rel > args.threshold:
+            regressions.append(line)
+        elif rel < -args.threshold:
+            improvements.append(line)
+
+    only_base = sorted(set(base) - set(cur))
+    only_cur = sorted(set(cur) - set(base))
+    if only_base:
+        print(f"keys only in baseline ({len(only_base)}):",
+              ", ".join(only_base))
+    if only_cur:
+        print(f"keys only in current ({len(only_cur)}):", ", ".join(only_cur))
+    if improvements:
+        print(f"improvements (> {args.threshold:.0%}):")
+        print("\n".join(improvements))
+    if regressions:
+        print(f"REGRESSIONS (> {args.threshold:.0%}):")
+        print("\n".join(regressions))
+        if not args.warn_only:
+            return 1
+        print("(warn-only mode: not failing)")
+    else:
+        print(f"no regressions beyond {args.threshold:.0%} "
+              f"({len(set(base) & set(cur))} keys compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
