@@ -17,6 +17,7 @@
 #include "common/table.hpp"
 #include "datagen/temperature_field.hpp"
 #include "microdeep/distributed.hpp"
+#include "netexec/netexec.hpp"
 
 using namespace zeiot;
 using microdeep::AssignmentKind;
@@ -55,56 +56,83 @@ ml::Network feasible_cnn(Rng& rng) {
 struct RunResult {
   double accuracy = 0.0;
   microdeep::CommCostReport cost;
+  netexec::NetEvalResult netexec;  // filled only when netexec_obs != nullptr
 };
 
+/// Trains one variant and, when `netexec_obs` is set, replays the trained
+/// model over the event-driven 802.15.4 network executor to add the
+/// network-in-the-loop row (accuracy + latency percentiles + energy).
 RunResult run(ml::Network net, const WsnTopology& wsn,
               const MicroDeepConfig& cfg, const ml::Dataset& train,
-              const ml::Dataset& test) {
+              const ml::Dataset& test, int epochs,
+              obs::Observability* netexec_obs, std::size_t netexec_samples) {
   MicroDeepModel model(net, wsn, {1, 17, 25}, cfg);
   ml::Adam opt(0.004);
   ml::TrainConfig tcfg;
-  tcfg.epochs = 16;
+  tcfg.epochs = epochs;
   tcfg.batch_size = 32;
   tcfg.patience = 5;
   const auto hist = model.train(train, test, tcfg, opt);
-  return {hist.best_val_accuracy, model.comm_cost()};
+  RunResult res{hist.best_val_accuracy, model.comm_cost(), {}};
+  if (netexec_obs != nullptr) {
+    netexec::NetExecConfig ncfg;
+    ncfg.channel.loss_per_hop = 0.01;  // realistic but benign indoor link
+    ncfg.seed = cfg.seed;
+    ncfg.obs = netexec_obs;
+    netexec::NetworkExecutor exec(net, model.unit_graph(), model.assignment(),
+                                  model.wsn(), ncfg);
+    res.netexec = exec.evaluate(test, nullptr, netexec_samples);
+  }
+  return res;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_bench_args(argc, argv);
   std::cout << "=== E1: MicroDeep temperature experiment (Sec. IV.C) ===\n";
   obs::Observability obs;
   datagen::TemperatureFieldConfig field;  // paper scale: 2,961 samples
-  const ml::Dataset all = datagen::generate_temperature_dataset(field);
-  Rng split_rng(1);
+  ml::Dataset all = datagen::generate_temperature_dataset(field);
+  if (args.smoke) {  // ~15% of the samples keeps the smoke run in seconds
+    ml::Dataset sub;
+    for (std::size_t i = 0; i < all.size(); i += 7) sub.add(all.x(i), all.label(i));
+    all = std::move(sub);
+  }
+  const int epochs = args.smoke ? 2 : 16;
+  const std::size_t netexec_samples = args.smoke ? 40 : 200;
+  Rng split_rng(1 + args.seed);
   auto [train, test] = all.stratified_split(split_rng, 0.8);
   std::cout << "dataset: " << all.size() << " samples (" << train.size()
             << " train / " << test.size() << " test), grid 25x17, 50 nodes\n";
 
   Rect area{0.0, 0.0, 50.0, 34.0};
-  Rng wsn_rng(2);
+  Rng wsn_rng(2 + args.seed);
   const auto wsn = WsnTopology::jittered_grid(area, 10, 5, wsn_rng);
 
   // Standard CNN: optimal hyperparameters, centralized at a sink.
-  Rng rng_a(3);
+  Rng rng_a(3 + args.seed);
   MicroDeepConfig central;
   central.assignment = AssignmentKind::Centralized;
   central.sink = 22;
   central.staleness = 0.0;  // exact centralized training
   const auto t0 = std::chrono::steady_clock::now();
-  const auto standard = run(optimal_cnn(rng_a), wsn, central, train, test);
+  const auto standard = run(optimal_cnn(rng_a), wsn, central, train, test,
+                            epochs, nullptr, 0);
   const auto t1 = std::chrono::steady_clock::now();
   const double standard_max = standard.cost.max_cost;
 
   // MicroDeep: feasible hyperparameters, heuristic balanced assignment,
-  // node-local (stale) weight updates.
-  Rng rng_b(3);
+  // node-local (stale) weight updates.  This row also runs network-in-the-
+  // loop: the trained model over the event-driven 802.15.4 executor.
+  Rng rng_b(3 + args.seed);
   MicroDeepConfig micro;
   micro.assignment = AssignmentKind::BalancedHeuristic;
   micro.staleness = 0.35;
+  micro.seed += args.seed;
   micro.obs = &obs;  // the MicroDeep row is the paper-relevant series
-  const auto microdeep_r = run(feasible_cnn(rng_b), wsn, micro, train, test);
+  const auto microdeep_r = run(feasible_cnn(rng_b), wsn, micro, train, test,
+                               epochs, &obs, netexec_samples);
   const auto t2 = std::chrono::steady_clock::now();
 
   // End-to-end training wall clock (items = training samples per second
@@ -128,6 +156,18 @@ int main() {
   t.print(std::cout);
   std::cout << "paper: standard 97%, MicroDeep ~95%, max comm cost 13% of "
                "standard\n";
+
+  // Network-in-the-loop row: the same trained MicroDeep model executed over
+  // the event-driven 802.15.4 channel (1% per-hop loss, ARQ retries).
+  const auto& nx = microdeep_r.netexec;
+  Table nt({"system", "accuracy", "p50 latency (ms)", "p99 latency (ms)",
+            "energy/inference (uJ)", "degraded"});
+  nt.add_row({"MicroDeep over 802.15.4 (netexec)", Table::pct(nx.accuracy),
+              Table::num(nx.p50_latency_s * 1e3, 2),
+              Table::num(nx.p99_latency_s * 1e3, 2),
+              Table::num(nx.mean_energy_j * 1e6, 2),
+              Table::pct(nx.degraded_fraction)});
+  nt.print(std::cout);
 
   obs.metrics().gauge("bench.e1.standard_accuracy").set(standard.accuracy);
   obs.metrics().gauge("bench.e1.microdeep_accuracy").set(microdeep_r.accuracy);

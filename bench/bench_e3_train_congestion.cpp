@@ -12,12 +12,14 @@
 using namespace zeiot;
 using namespace zeiot::sensing::rssi;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_bench_args(argc, argv);
   std::cout << "=== E3: train-car congestion & position (Sec. IV.B) ===\n";
   TrainConfig cfg;
-  Rng rng(2024);
-  const auto res = evaluate_train_pipeline(cfg, /*train_trips=*/20,
-                                           /*num_trips=*/60, rng);
+  Rng rng(2024 + args.seed);
+  const auto res = evaluate_train_pipeline(
+      cfg, /*train_trips=*/args.smoke ? 4 : 20,
+      /*num_trips=*/args.smoke ? 10 : 60, rng);
 
   Table t({"metric", "measured", "paper"});
   t.add_row({"car-level position accuracy", Table::pct(res.position_accuracy),

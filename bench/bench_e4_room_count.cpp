@@ -13,12 +13,14 @@
 using namespace zeiot;
 using namespace zeiot::sensing::rssi;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_bench_args(argc, argv);
   std::cout << "=== E4: 802.15.4 RSSI people counting (Sec. IV.B) ===\n";
   RoomConfig cfg;  // 10 nodes, 0..10 people
-  Rng rng(7);
-  const auto res =
-      evaluate_room_pipeline(cfg, /*train_rounds=*/100, /*eval_rounds=*/30, rng);
+  Rng rng(7 + args.seed);
+  const auto res = evaluate_room_pipeline(
+      cfg, /*train_rounds=*/args.smoke ? 20 : 100,
+      /*eval_rounds=*/args.smoke ? 8 : 30, rng);
 
   Table t({"metric", "measured", "paper"});
   t.add_row({"exact count accuracy", Table::pct(res.exact_accuracy), "~79%"});

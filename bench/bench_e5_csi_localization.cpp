@@ -15,13 +15,15 @@
 using namespace zeiot;
 using namespace zeiot::sensing::csi;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_bench_args(argc, argv);
   std::cout << "=== E5: 802.11ac CSI-feedback localization (Sec. IV.B) ===\n";
   phy::CsiEnvironment env;  // 52 subcarriers, 4x3 V -> 624 angles
   LocalizationConfig cfg;
   cfg.num_positions = 7;
-  cfg.frames_per_position = 60;
+  cfg.frames_per_position = args.smoke ? 12 : 60;
   cfg.knn_k = 3;
+  cfg.seed += args.seed;
 
   const auto results = run_all_patterns(env, cfg);
   obs::Observability obs;

@@ -22,15 +22,17 @@ using namespace zeiot::backscatter;
 namespace {
 
 obs::Observability g_obs;
+double g_duration_s = 60.0;   // --smoke shrinks the horizon
+std::uint64_t g_seed = 11;    // --seed offsets the scenario seed
 
 CoexistenceMetrics run(MacMode mode, double rate, std::size_t devices) {
   CoexistenceConfig cfg;
   cfg.mode = mode;
-  cfg.duration_s = 60.0;
+  cfg.duration_s = g_duration_s;
   cfg.wlan_rate_hz = rate;
   cfg.num_devices = devices;
   cfg.device_period_s = 1.0;
-  cfg.seed = 11;
+  cfg.seed = g_seed;
   CoexistenceSimulator sim(cfg);
   sim.set_observability(&g_obs);
   return sim.run();
@@ -57,11 +59,11 @@ CoexistenceMetrics run_chaos(double intensity, obs::Observability* obs,
                              std::uint64_t* trace_digest = nullptr) {
   CoexistenceConfig cfg;
   cfg.mode = MacMode::Proposed;
-  cfg.duration_s = 60.0;
+  cfg.duration_s = g_duration_s;
   cfg.wlan_rate_hz = 50.0;
   cfg.num_devices = 8;
   cfg.device_period_s = 1.0;
-  cfg.seed = 11;
+  cfg.seed = g_seed;
   fault::FaultInjector inj(fault::generate_plan(chaos_spec(intensity)));
   if (obs != nullptr) inj.set_observability(obs);
   CoexistenceSimulator sim(cfg);
@@ -76,14 +78,27 @@ CoexistenceMetrics run_chaos(double intensity, obs::Observability* obs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_bench_args(argc, argv);
+  if (args.smoke) g_duration_s = 5.0;
+  g_seed += args.seed;
   std::cout << "=== E6: backscatter MAC coexistence (Sec. IV.A) ===\n";
+
+  const std::vector<double> rates =
+      args.smoke ? std::vector<double>{2.0, 50.0}
+                 : std::vector<double>{2.0, 10.0, 50.0, 200.0, 800.0};
+  const std::vector<std::size_t> fleets =
+      args.smoke ? std::vector<std::size_t>{2, 8}
+                 : std::vector<std::size_t>{2, 8, 16, 32, 64};
+  const std::vector<double> intensities =
+      args.smoke ? std::vector<double>{0.0, 1.0}
+                 : std::vector<double>{0.0, 0.5, 1.0, 2.0, 4.0};
 
   std::cout << "\n--- sweep 1: WLAN offered load (8 devices, 1 s cycles) ---\n";
   Table t1({"wlan pkt/s", "MAC", "bs delivery", "bs latency (ms)",
             "wifi error", "wifi goodput (Mbps)", "dummy airtime",
             "channel util"});
-  for (double rate : {2.0, 10.0, 50.0, 200.0, 800.0}) {
+  for (double rate : rates) {
     for (MacMode mode : {MacMode::Proposed, MacMode::Naive}) {
       const auto m = run(mode, rate, 8);
       t1.add_row({Table::num(rate, 0),
@@ -102,7 +117,7 @@ int main() {
 
   std::cout << "\n--- sweep 2: fleet size (50 WLAN pkt/s) ---\n";
   Table t2({"devices", "MAC", "bs delivery", "bs collisions", "wifi error"});
-  for (std::size_t devices : {2u, 8u, 16u, 32u, 64u}) {
+  for (std::size_t devices : fleets) {
     for (MacMode mode : {MacMode::Proposed, MacMode::Naive}) {
       const auto m = run(mode, 50.0, devices);
       t2.add_row({std::to_string(devices),
@@ -122,7 +137,7 @@ int main() {
   std::cout << "\n--- sweep 3: fault intensity (proposed MAC, 50 pkt/s) ---\n";
   Table t3({"intensity", "bs delivery", "suppressed", "faulted",
             "wifi error"});
-  for (double intensity : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+  for (double intensity : intensities) {
     const auto m = run_chaos(intensity, &g_obs);
     const obs::Labels il{{"intensity", Table::num(intensity, 1)}};
     auto& mm = g_obs.metrics();

@@ -25,7 +25,8 @@
 
 using namespace zeiot;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_bench_args(argc, argv);
   std::cout << "=== E7: zero-energy budget (Sec. I / Fig. 1-2) ===\n";
   obs::Observability obs;
 
@@ -61,7 +62,9 @@ int main() {
   // weak indoor-light harvester: which radio keeps up?  An active radio
   // must wake, associate and transmit (~20 ms of radio-on time per
   // report); a backscatter tag only flips its switch for one frame.
-  std::cout << "\n--- 24 h continuous sensing at 0.2 Hz (indoor light, "
+  const int sensing_hours = args.smoke ? 1 : 24;
+  std::cout << "\n--- " << sensing_hours
+            << " h continuous sensing at 0.2 Hz (indoor light, "
                "10 uW peak) ---\n";
   phy::BackscatterPhy bs_phy;
   constexpr double kActiveRadioOnS = 20e-3;
@@ -69,13 +72,13 @@ int main() {
             "energy per report"});
   for (const bool use_backscatter : {true, false}) {
     energy::IntermittentDevice dev(
-        std::make_unique<energy::SolarHarvester>(10e-6, Rng(5)),
+        std::make_unique<energy::SolarHarvester>(10e-6, Rng(5 + args.seed)),
         energy::Capacitor(470e-6, 5.0), energy::HysteresisSwitch(3.0, 2.2));
     dev.set_observability(&obs, use_backscatter ? 0 : 1);
     const double report_airtime =
         use_backscatter ? bs_phy.frame_airtime_s(8) : kActiveRadioOnS;
     std::size_t due = 0, delivered = 0;
-    for (int tick = 0; tick < 24 * 60 * 12; ++tick) {  // every 5 s
+    for (int tick = 0; tick < sensing_hours * 60 * 12; ++tick) {  // every 5 s
       dev.advance(tick * 5.0);
       ++due;
       if (!dev.is_on()) continue;

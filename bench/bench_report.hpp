@@ -17,6 +17,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -29,6 +30,33 @@
 #include "sim/simulator.hpp"
 
 namespace zeiot::bench {
+
+/// Minimal CLI shared by every bench binary.
+///
+///   --smoke    shrink the workload to seconds (fewer epochs / trials /
+///              sweep points) while still exercising every reporting path —
+///              the ctest seed-sweep smoke test runs each bench this way
+///   --seed N   offset the scenario seeds so independent smoke runs cover
+///              different draws
+///
+/// Unknown arguments are ignored so wrappers can pass extra flags through.
+struct BenchArgs {
+  bool smoke = false;
+  std::uint64_t seed = 0;
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      args.smoke = true;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      args.seed = std::stoull(argv[++i]);
+    }
+  }
+  return args;
+}
 
 /// Records a wall-clock perf sample as the standard gauge pair
 /// `perf.<key>.wall_s` / `perf.<key>.items_per_s`.  These are the series

@@ -113,6 +113,11 @@ class CoexistenceSimulator {
   /// Runs the full scenario and returns the metrics.
   CoexistenceMetrics run();
 
+  /// Read-only view of the medium occupancy log (valid after run()) —
+  /// the MAC property tests audit grant exclusivity, carrier coverage,
+  /// and dummy/WLAN separation from these intervals.
+  const mac::Channel& channel() const { return channel_; }
+
  private:
   struct DeviceState {
     DeviceId id = 0;

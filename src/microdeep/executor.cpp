@@ -6,23 +6,17 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "microdeep/unit_compute.hpp"
+
 namespace zeiot::microdeep {
 
 namespace {
-
-/// Per-unit state during the walk: the activation vector (length =
-/// channels of its unit layer) and the time it becomes available on its
-/// node.
-struct UnitState {
-  std::vector<float> act;
-  double ready_at = 0.0;
-};
 
 /// Applies the node-serialization timing for one unit layer: units on the
 /// same node execute sequentially in input-arrival order.
 void serialize_layer(const UnitGraph& graph, const Assignment& assignment,
                      std::size_t layer_index, const LatencyModel& lat,
-                     std::vector<UnitState>& units,
+                     std::vector<double>& ready_at,
                      const std::vector<double>& input_arrival,
                      std::size_t num_nodes) {
   const UnitLayer& l = graph.layers()[layer_index];
@@ -40,7 +34,7 @@ void serialize_layer(const UnitGraph& graph, const Assignment& assignment,
     for (UnitId u : list) {
       const double start = std::max(node_free, input_arrival[u]);
       const double done = start + lat.unit_compute_s;
-      units[u].ready_at = done;
+      ready_at[u] = done;
       node_free = done;
     }
   }
@@ -66,17 +60,17 @@ ExecutionResult execute_distributed(ml::Network& net, const UnitGraph& graph,
   ZEIOT_CHECK_MSG(lat.hop_latency_s >= 0.0 && lat.unit_compute_s >= 0.0,
                   "latency parameters must be >= 0");
 
-  std::vector<UnitState> units(graph.num_units());
+  ActTable acts(graph.num_units());
+  std::vector<double> ready_at(graph.num_units(), 0.0);
   // Input units: the sensed channel vector, available at t = 0.
   for (int y = 0; y < input.height; ++y) {
     for (int x = 0; x < input.width; ++x) {
       const UnitId u =
           input.first_unit + static_cast<UnitId>(y * input.width + x);
-      units[u].act.resize(static_cast<std::size_t>(input.channels));
+      acts[u].resize(static_cast<std::size_t>(input.channels));
       for (int c = 0; c < input.channels; ++c) {
-        units[u].act[static_cast<std::size_t>(c)] = sample.at({c, y, x});
+        acts[u][static_cast<std::size_t>(c)] = sample.at({c, y, x});
       }
-      units[u].ready_at = 0.0;
     }
   }
 
@@ -115,7 +109,7 @@ ExecutionResult execute_distributed(ml::Network& net, const UnitGraph& graph,
   auto arrival = [&](UnitId src, UnitId dst) {
     const NodeId sn = assignment.node_of(src);
     const NodeId dn = assignment.node_of(dst);
-    if (sn == dn) return units[src].ready_at;
+    if (sn == dn) return ready_at[src];
     const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dn;
     const int hops = wsn.hops(sn, dn);
     if (message_dedup.insert(key).second) {
@@ -123,14 +117,25 @@ ExecutionResult execute_distributed(ml::Network& net, const UnitGraph& graph,
       if (obs != nullptr) {
         node_messages[sn] += 1.0;
         node_messages[dn] += 1.0;
-        obs->trace().record(units[src].ready_at, obs::TraceType::MicroDeepHop,
-                            sn, dn, static_cast<double>(hops));
+        obs->trace().record(ready_at[src], obs::TraceType::MicroDeepHop, sn,
+                            dn, static_cast<double>(hops));
       }
     }
     double extra = 0.0;
     if (fault != nullptr) extra = link_fault(src, dst).delay_s;
-    return units[src].ready_at +
-           lat.hop_latency_s * static_cast<double>(hops) + extra;
+    return ready_at[src] + lat.hop_latency_s * static_cast<double>(hops) +
+           extra;
+  };
+
+  std::vector<double> input_arrival;
+  UnitComputeHooks hooks;
+  hooks.substitute_missing = fault != nullptr;
+  hooks.lost = [&](UnitId src, UnitId dst) {
+    return fault != nullptr && link_fault(src, dst).lost;
+  };
+  hooks.visited = [&](UnitId src, UnitId dst, bool lost) {
+    const double at = arrival(src, dst);
+    if (!lost) input_arrival[dst] = std::max(input_arrival[dst], at);
   };
 
   // Walk the network layer by layer, mirroring UnitGraph::build's mapping.
@@ -141,135 +146,16 @@ ExecutionResult execute_distributed(ml::Network& net, const UnitGraph& graph,
     if (produced < 0) {
       // Elementwise / reshaping layer: acts in place on the current units.
       if (dynamic_cast<ml::ReLU*>(&layer) != nullptr) {
-        const UnitLayer& cur = layers[unit_layer];
-        for (int i = 0; i < cur.num_units(); ++i) {
-          for (float& v :
-               units[cur.first_unit + static_cast<UnitId>(i)].act) {
-            v = std::max(0.0f, v);
-          }
-        }
+        apply_relu_layer(graph, unit_layer, acts);
       }
       // Flatten and Dropout (inference) do not change unit activations.
       continue;
     }
 
     const auto pl = static_cast<std::size_t>(produced);
-    const UnitLayer& out = layers[pl];
-    const UnitLayer& in = layers[unit_layer];
-    std::vector<double> input_arrival(graph.num_units(), 0.0);
-
-    if (const auto* conv = dynamic_cast<const ml::Conv2D*>(&layer)) {
-      const auto params = const_cast<ml::Conv2D*>(conv)->params();
-      const ml::Tensor& w = params[0]->value;  // (oc, ic, k, k)
-      const ml::Tensor& b = params[1]->value;
-      const int p = conv->padding();
-      for (int oy = 0; oy < out.height; ++oy) {
-        for (int ox = 0; ox < out.width; ++ox) {
-          const UnitId u =
-              out.first_unit + static_cast<UnitId>(oy * out.width + ox);
-          auto& acc = units[u].act;
-          acc.assign(static_cast<std::size_t>(out.channels), 0.0f);
-          for (int oc = 0; oc < out.channels; ++oc) {
-            acc[static_cast<std::size_t>(oc)] =
-                b[static_cast<std::size_t>(oc)];
-          }
-          double latest = 0.0;
-          for (const UnitId src : graph.graph_neighbors(u)) {
-            if (src < in.first_unit ||
-                src >= in.first_unit + static_cast<UnitId>(in.num_units())) {
-              continue;  // neighbour in the *next* layer, not an input
-            }
-            const int local = static_cast<int>(src - in.first_unit);
-            const int sy = local / in.width;
-            const int sx = local % in.width;
-            const int ky = sy - oy + p;
-            const int kx = sx - ox + p;
-            ZEIOT_CHECK(ky >= 0 && ky < conv->kernel() && kx >= 0 &&
-                        kx < conv->kernel());
-            const bool lost = fault != nullptr && link_fault(src, u).lost;
-            if (!lost) {
-              for (int oc = 0; oc < out.channels; ++oc) {
-                float dot = 0.0f;
-                for (int ic = 0; ic < in.channels; ++ic) {
-                  dot += w.at({oc, ic, ky, kx}) *
-                         units[src].act[static_cast<std::size_t>(ic)];
-                }
-                acc[static_cast<std::size_t>(oc)] += dot;
-              }
-            }
-            const double at = arrival(src, u);
-            if (!lost) latest = std::max(latest, at);
-          }
-          input_arrival[u] = latest;
-        }
-      }
-    } else if (const auto* pool = dynamic_cast<const ml::MaxPool2D*>(&layer)) {
-      (void)pool;
-      for (int oy = 0; oy < out.height; ++oy) {
-        for (int ox = 0; ox < out.width; ++ox) {
-          const UnitId u =
-              out.first_unit + static_cast<UnitId>(oy * out.width + ox);
-          auto& acc = units[u].act;
-          acc.assign(static_cast<std::size_t>(out.channels),
-                     -std::numeric_limits<float>::infinity());
-          double latest = 0.0;
-          for (const UnitId src : graph.graph_neighbors(u)) {
-            if (src < in.first_unit ||
-                src >= in.first_unit + static_cast<UnitId>(in.num_units())) {
-              continue;
-            }
-            const bool lost = fault != nullptr && link_fault(src, u).lost;
-            if (!lost) {
-              for (int c = 0; c < out.channels; ++c) {
-                acc[static_cast<std::size_t>(c)] =
-                    std::max(acc[static_cast<std::size_t>(c)],
-                             units[src].act[static_cast<std::size_t>(c)]);
-              }
-            }
-            const double at = arrival(src, u);
-            if (!lost) latest = std::max(latest, at);
-          }
-          if (fault != nullptr) {
-            // Every input lost: the receiver substitutes a neutral (zero)
-            // activation instead of propagating -inf.
-            for (float& v : acc) {
-              if (v == -std::numeric_limits<float>::infinity()) v = 0.0f;
-            }
-          }
-          input_arrival[u] = latest;
-        }
-      }
-    } else if (const auto* dense = dynamic_cast<const ml::Dense*>(&layer)) {
-      const auto params = const_cast<ml::Dense*>(dense)->params();
-      const ml::Tensor& w = params[0]->value;  // (out, in_features)
-      const ml::Tensor& b = params[1]->value;
-      for (int o = 0; o < out.num_units(); ++o) {
-        const UnitId u = out.first_unit + static_cast<UnitId>(o);
-        units[u].act.assign(1, b[static_cast<std::size_t>(o)]);
-        double latest = 0.0;
-        for (int s = 0; s < in.num_units(); ++s) {
-          const UnitId src = in.first_unit + static_cast<UnitId>(s);
-          const bool lost = fault != nullptr && link_fault(src, u).lost;
-          if (!lost) {
-            // Flatten order is NCHW: feature index = ic*H*W + (y*W + x).
-            float dot = 0.0f;
-            for (int ic = 0; ic < in.channels; ++ic) {
-              const int feature = ic * in.num_units() + s;
-              dot += w.at({o, feature}) *
-                     units[src].act[static_cast<std::size_t>(ic)];
-            }
-            units[u].act[0] += dot;
-          }
-          const double at = arrival(src, u);
-          if (!lost) latest = std::max(latest, at);
-        }
-        input_arrival[u] = latest;
-      }
-    } else {
-      throw Error("execute_distributed: unsupported layer " + layer.name());
-    }
-
-    serialize_layer(graph, assignment, pl, lat, units, input_arrival,
+    input_arrival.assign(graph.num_units(), 0.0);
+    compute_unit_layer(layer, graph, unit_layer, pl, acts, hooks);
+    serialize_layer(graph, assignment, pl, lat, ready_at, input_arrival,
                     wsn.num_nodes());
     unit_layer = pl;
   }
@@ -282,8 +168,8 @@ ExecutionResult execute_distributed(ml::Network& net, const UnitGraph& graph,
   double latency = 0.0;
   for (int i = 0; i < last.num_units(); ++i) {
     const UnitId u = last.first_unit + static_cast<UnitId>(i);
-    res.output.at({0, i}) = units[u].act[0];
-    latency = std::max(latency, units[u].ready_at);
+    res.output.at({0, i}) = acts[u][0];
+    latency = std::max(latency, ready_at[u]);
   }
   res.inference_latency_s = latency;
 

@@ -1,0 +1,525 @@
+#include "netexec/netexec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace zeiot::netexec {
+
+double ChannelConfig::hop_latency_s(std::size_t payload_bytes) const {
+  if (fixed_hop_latency_s >= 0.0) return fixed_hop_latency_s;
+  return phy.frame_airtime_s(payload_bytes);
+}
+
+ChannelConfig ChannelConfig::ideal() {
+  ChannelConfig c;
+  c.loss_per_hop = 0.0;
+  c.hop_processing_s = 0.0;
+  c.fixed_hop_latency_s = 0.0;
+  return c;
+}
+
+NetworkExecutor::NetworkExecutor(ml::Network& net,
+                                 const microdeep::UnitGraph& graph,
+                                 const microdeep::Assignment& assignment,
+                                 const microdeep::WsnTopology& wsn,
+                                 NetExecConfig cfg)
+    : net_(net), graph_(graph), assignment_(assignment), wsn_(wsn),
+      cfg_(std::move(cfg)) {
+  ZEIOT_CHECK_MSG(cfg_.max_retries >= 0, "max_retries must be >= 0");
+  ZEIOT_CHECK_MSG(cfg_.channel.loss_per_hop >= 0.0 &&
+                      cfg_.channel.loss_per_hop < 1.0,
+                  "loss_per_hop must be in [0, 1)");
+  ZEIOT_CHECK_MSG(cfg_.layer_deadline_s > 0.0,
+                  "layer_deadline_s must be > 0 (termination guarantee)");
+  build_plans();
+}
+
+void NetworkExecutor::reset_memory() { memory_.clear(); }
+
+void NetworkExecutor::build_plans() {
+  const auto& layers = graph_.layers();
+  const std::size_t n_nodes = wsn_.num_nodes();
+  std::uint64_t next_uid = 0;
+  std::size_t unit_layer = 0;  // current (producer) unit layer index
+
+  for (std::size_t li = 0; li < net_.num_layers(); ++li) {
+    const int produced = graph_.unit_layer_of_net_layer(li);
+    if (produced < 0) {
+      if (dynamic_cast<ml::ReLU*>(&net_.layer(li)) != nullptr) {
+        ZEIOT_CHECK_MSG(!plans_.empty() &&
+                            plans_.back().out_layer == unit_layer,
+                        "netexec: ReLU must follow a producing layer");
+        plans_.back().relu_after = true;
+      }
+      continue;  // Flatten / Dropout: no units, no traffic
+    }
+
+    LayerPlan p;
+    p.net_layer = li;
+    p.in_layer = unit_layer;
+    p.out_layer = static_cast<std::size_t>(produced);
+    ZEIOT_CHECK_MSG(p.out_layer == p.in_layer + 1,
+                    "netexec expects sequential unit layers");
+    const microdeep::UnitLayer& in = layers[p.in_layer];
+    const microdeep::UnitLayer& out = layers[p.out_layer];
+    p.payload_bytes = static_cast<std::size_t>(in.channels) * sizeof(float) +
+                      cfg_.channel.header_bytes;
+    p.first_uid = next_uid;
+    p.out_msgs.resize(n_nodes);
+    p.in_msgs.resize(n_nodes);
+    p.local_srcs.resize(n_nodes);
+    p.units.resize(n_nodes);
+
+    // Walk consumer units and their inputs in the exact order of the
+    // shared unit-compute kernel, deduplicating per (producer unit,
+    // consumer node) — the ideal executor's message set, in its insertion
+    // order.
+    std::unordered_set<std::uint64_t> seen;
+    auto visit_src = [&](UnitId src, NodeId dst_node) {
+      const NodeId src_node = assignment_.node_of(src);
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(src) << 32) | dst_node;
+      if (!seen.insert(key).second) return;
+      if (src_node == dst_node) {
+        p.local_srcs[dst_node].push_back(src);
+        return;
+      }
+      Message m;
+      m.src = src;
+      m.src_node = src_node;
+      m.dst_node = dst_node;
+      m.hops = wsn_.hops(src_node, dst_node);
+      const std::size_t mi = p.messages.size();
+      p.messages.push_back(m);
+      p.out_msgs[src_node].push_back(mi);
+      p.in_msgs[dst_node].push_back(mi);
+    };
+
+    const UnitId in_begin = in.first_unit;
+    const UnitId in_end = in.first_unit + static_cast<UnitId>(in.num_units());
+    for (int i = 0; i < out.num_units(); ++i) {
+      const UnitId u = out.first_unit + static_cast<UnitId>(i);
+      const NodeId n = assignment_.node_of(u);
+      p.units[n].push_back(u);
+      if (out.kind == microdeep::UnitLayer::Kind::Dense) {
+        for (UnitId src = in_begin; src < in_end; ++src) visit_src(src, n);
+      } else {
+        for (const UnitId src : graph_.graph_neighbors(u)) {
+          if (src >= in_begin && src < in_end) visit_src(src, n);
+        }
+      }
+    }
+    next_uid += p.messages.size();
+    unit_layer = p.out_layer;
+    plans_.push_back(std::move(p));
+  }
+  ZEIOT_CHECK_MSG(!plans_.empty(), "network produces no unit layers");
+}
+
+NetInferenceResult NetworkExecutor::run_impl(
+    const ml::Tensor& sample, std::uint64_t seed, obs::Observability* obs,
+    fault::FaultInjector* fault, microdeep::ActTable* memory) const {
+  const auto& layers = graph_.layers();
+  const microdeep::UnitLayer& input = layers.front();
+  ZEIOT_CHECK_MSG(sample.ndim() == 3 && sample.dim(0) == input.channels &&
+                      sample.dim(1) == input.height &&
+                      sample.dim(2) == input.width,
+                  "sample shape does not match the unit graph input");
+
+  const std::size_t n_nodes = wsn_.num_nodes();
+  const std::size_t n_plans = plans_.size();
+  const double off = cfg_.fault_time_offset;
+
+  NetInferenceResult res;
+  sim::Simulator sim;
+
+  microdeep::ActTable acts(graph_.num_units());
+  std::vector<char> unit_valid(graph_.num_units(), 0);
+  for (int y = 0; y < input.height; ++y) {
+    for (int x = 0; x < input.width; ++x) {
+      const UnitId u =
+          input.first_unit + static_cast<UnitId>(y * input.width + x);
+      acts[u].resize(static_cast<std::size_t>(input.channels));
+      for (int c = 0; c < input.channels; ++c) {
+        acts[u][static_cast<std::size_t>(c)] = sample.at({c, y, x});
+      }
+    }
+  }
+
+  std::vector<double> radio_free(n_nodes, 0.0);
+  std::vector<double> cpu_free(n_nodes, 0.0);
+  std::vector<energy::EnergyLedger> ledger(n_nodes);
+
+  // Per-plan dynamic state.  stage: 0 = waiting, 1 = compute scheduled,
+  // 2 = done (computed, or skipped because the node was dead).
+  struct PlanState {
+    std::vector<std::size_t> pending;
+    std::vector<char> stage;
+    std::vector<char> delivered;
+    double finish_s = 0.0;
+    bool any_computed = false;
+  };
+  std::vector<PlanState> st(n_plans);
+  for (std::size_t k = 0; k < n_plans; ++k) {
+    const LayerPlan& p = plans_[k];
+    st[k].stage.assign(n_nodes, 0);
+    st[k].delivered.assign(p.messages.size(), 0);
+    st[k].pending.assign(n_nodes, 0);
+    for (NodeId n = 0; n < n_nodes; ++n) {
+      st[k].pending[n] =
+          p.in_msgs[n].size() + (p.local_srcs[n].empty() ? 0 : 1);
+    }
+  }
+
+  // Mutually recursive event handlers (all state lives in this frame; the
+  // simulator runs to completion before it unwinds).
+  std::function<void(std::size_t, NodeId)> schedule_compute;
+  std::function<void(std::size_t, NodeId)> dec_pending;
+  std::function<void(std::size_t, NodeId)> layer_done;
+  std::function<void(std::size_t, std::size_t)> start_frame;
+  std::function<void(std::size_t, std::size_t, NodeId, int, int)> attempt_hop;
+  std::function<void(std::size_t, std::size_t, NodeId, int)> arrive;
+
+  dec_pending = [&](std::size_t k, NodeId n) {
+    auto& s = st[k];
+    if (s.pending[n] == 0) return;
+    if (--s.pending[n] == 0 && s.stage[n] == 0 && !plans_[k].units[n].empty())
+      schedule_compute(k, n);
+  };
+
+  layer_done = [&](std::size_t done_layer, NodeId n) {
+    // Unit layer `done_layer` is final on node n: ship its activations to
+    // remote consumers and release the local dependency of the next plan.
+    if (done_layer >= n_plans) return;  // logits: nothing downstream
+    const LayerPlan& p = plans_[done_layer];
+    for (const std::size_t mi : p.out_msgs[n]) start_frame(done_layer, mi);
+    if (!p.local_srcs[n].empty()) dec_pending(done_layer, n);
+  };
+
+  schedule_compute = [&](std::size_t k, NodeId n) {
+    auto& s = st[k];
+    if (s.stage[n] != 0) return;
+    s.stage[n] = 1;
+    const LayerPlan& p = plans_[k];
+    const double start = std::max(sim.now(), cpu_free[n]);
+    const double dur =
+        static_cast<double>(p.units[n].size()) * cfg_.unit_compute_s;
+    cpu_free[n] = start + dur;  // reserve the MCU now (serial execution)
+    sim.schedule_at(start, [&, k, n, start, dur]() {
+      auto& sk = st[k];
+      const LayerPlan& plan = plans_[k];
+      if (fault != nullptr && fault->node_dead(off + start, n)) {
+        sk.stage[n] = 2;  // node died before computing: units stay invalid
+        return;
+      }
+      // Substitute activations that never arrived (lost frames, dead or
+      // late producers) with the last-known value — zeros on first contact.
+      const auto in_ch =
+          static_cast<std::size_t>(layers[plan.in_layer].channels);
+      std::vector<std::pair<UnitId, std::vector<float>>> saved;
+      auto substitute = [&](UnitId src) {
+        saved.emplace_back(src, std::move(acts[src]));
+        if (memory != nullptr && src < memory->size() &&
+            !(*memory)[src].empty()) {
+          acts[src] = (*memory)[src];
+        } else {
+          acts[src].assign(in_ch, 0.0f);
+        }
+        ++res.substitutions;
+      };
+      for (const std::size_t mi : plan.in_msgs[n]) {
+        if (!sk.delivered[mi]) substitute(plan.messages[mi].src);
+      }
+      for (const UnitId src : plan.local_srcs[n]) {
+        if (!unit_valid[src]) substitute(src);
+      }
+
+      std::function<bool(UnitId)> mine = [&, n](UnitId u) {
+        return assignment_.node_of(u) == n;
+      };
+      microdeep::UnitComputeHooks hooks;
+      hooks.unit_filter = &mine;
+      compute_unit_layer(net_.layer(plan.net_layer), graph_, plan.in_layer,
+                         plan.out_layer, acts, hooks);
+      if (plan.relu_after) {
+        apply_relu_layer(graph_, plan.out_layer, acts, &mine);
+      }
+      for (auto& [src, prev] : saved) acts[src] = std::move(prev);
+
+      ledger[n].record("compute", cfg_.costs.compute_watt * dur);
+      const double finish = start + dur;
+      sim.schedule_at(finish, [&, k, n, finish]() {
+        auto& sf = st[k];
+        sf.stage[n] = 2;
+        sf.finish_s = std::max(sf.finish_s, finish);
+        sf.any_computed = true;
+        for (const UnitId u : plans_[k].units[n]) unit_valid[u] = 1;
+        layer_done(plans_[k].out_layer, n);
+      });
+    });
+  };
+
+  start_frame = [&](std::size_t k, std::size_t mi) {
+    const Message& m = plans_[k].messages[mi];
+    ++res.messages;
+    if (obs != nullptr) {
+      obs->trace().record(sim.now(), obs::TraceType::MicroDeepHop, m.src_node,
+                          m.dst_node, static_cast<double>(m.hops));
+    }
+    attempt_hop(k, mi, m.src_node, 0, 0);
+  };
+
+  attempt_hop = [&](std::size_t k, std::size_t mi, NodeId cur, int hop,
+                    int attempt) {
+    const LayerPlan& plan = plans_[k];
+    const Message& m = plan.messages[mi];
+    const double now = sim.now();
+    if (fault != nullptr && fault->node_dead(off + now, cur)) {
+      ++res.frames_lost;  // holder died with the frame in its buffer
+      return;
+    }
+    if (radio_free[cur] > now) {  // radio busy: defer, not an attempt yet
+      sim.schedule_at(radio_free[cur], [&, k, mi, cur, hop, attempt]() {
+        attempt_hop(k, mi, cur, hop, attempt);
+      });
+      return;
+    }
+    const NodeId nxt = wsn_.next_hop(cur, m.dst_node);
+    const double air = cfg_.channel.hop_latency_s(plan.payload_bytes);
+    radio_free[cur] = now + air;
+    ++res.transmissions;
+    if (attempt > 0) ++res.retransmissions;
+    ledger[cur].record("tx", cfg_.costs.backscatter_tx_watt * air);
+    ledger[nxt].record("rx", cfg_.costs.rx_watt * air);
+    if (obs != nullptr) {
+      obs->trace().record(now, obs::TraceType::PacketTx, cur, nxt, air);
+    }
+
+    // Loss: keyed per-(frame, hop, attempt) channel draw — a pure function
+    // of (seed, uid, hop, attempt), so raising loss_per_hop can only turn
+    // successes into losses (monotone coupling) — then injected faults,
+    // then a dead receiver.
+    bool lost = false;
+    if (cfg_.channel.loss_per_hop > 0.0) {
+      Rng draw = Rng(seed)
+                     .split(plan.first_uid + mi)
+                     .split(static_cast<std::uint64_t>(hop))
+                     .split(static_cast<std::uint64_t>(attempt));
+      lost = draw.uniform() < cfg_.channel.loss_per_hop;
+    }
+    if (!lost && fault != nullptr) {
+      lost = fault->should_drop(off + now, cur, nxt) ||
+             fault->should_corrupt(off + now, cur, nxt);
+    }
+    double arrive_t = now + air + cfg_.channel.hop_processing_s;
+    if (fault != nullptr) arrive_t += fault->message_delay_s(off + now, cur, nxt);
+    if (!lost && fault != nullptr && fault->node_dead(off + arrive_t, nxt)) {
+      lost = true;
+    }
+    if (lost) {
+      if (attempt >= cfg_.max_retries) {
+        ++res.frames_lost;  // abandoned; the consumer's deadline substitutes
+        return;
+      }
+      const double wait =
+          cfg_.ack_timeout_s * std::pow(cfg_.backoff_factor, attempt);
+      sim.schedule_at(now + air + wait, [&, k, mi, cur, hop, attempt]() {
+        attempt_hop(k, mi, cur, hop, attempt + 1);
+      });
+      return;
+    }
+    sim.schedule_at(arrive_t, [&, k, mi, nxt, hop]() {
+      arrive(k, mi, nxt, hop + 1);
+    });
+  };
+
+  arrive = [&](std::size_t k, std::size_t mi, NodeId at, int hop) {
+    const LayerPlan& plan = plans_[k];
+    const Message& m = plan.messages[mi];
+    if (obs != nullptr) {
+      obs->trace().record(sim.now(), obs::TraceType::PacketRx, at, m.dst_node,
+                          static_cast<double>(plan.payload_bytes));
+    }
+    if (at != m.dst_node) {
+      attempt_hop(k, mi, at, hop, 0);  // forward along the shortest path
+      return;
+    }
+    auto& s = st[k];
+    if (s.delivered[mi]) return;
+    s.delivered[mi] = 1;
+    if (s.stage[at] == 2) {
+      ++res.late_frames;  // consumer already computed with a substitute
+      return;
+    }
+    dec_pending(k, at);
+  };
+
+  // t = 0: sensing nodes publish their input units and feed plan 0.
+  sim.schedule(0.0, [&]() {
+    std::vector<char> owns(n_nodes, 0);
+    for (int i = 0; i < input.num_units(); ++i) {
+      const UnitId u = input.first_unit + static_cast<UnitId>(i);
+      owns[assignment_.node_of(u)] = 1;
+    }
+    for (NodeId n = 0; n < n_nodes; ++n) {
+      if (!owns[n]) continue;
+      if (fault != nullptr && fault->node_dead(off, n)) continue;
+      for (int i = 0; i < input.num_units(); ++i) {
+        const UnitId u = input.first_unit + static_cast<UnitId>(i);
+        if (assignment_.node_of(u) == n) unit_valid[u] = 1;
+      }
+      ledger[n].record("sense", cfg_.costs.sense_watt * cfg_.sense_s);
+      layer_done(0, n);
+    }
+  });
+
+  // Termination guarantee: plan k's consumers stop waiting at absolute
+  // time (k+1) * layer_deadline_s no matter what was lost.
+  for (std::size_t k = 0; k < n_plans; ++k) {
+    sim.schedule_at(static_cast<double>(k + 1) * cfg_.layer_deadline_s,
+                    [&, k]() {
+                      for (NodeId n = 0; n < n_nodes; ++n) {
+                        if (st[k].stage[n] == 0 && !plans_[k].units[n].empty())
+                          schedule_compute(k, n);
+                      }
+                    });
+  }
+
+  sim.run();
+  ZEIOT_CHECK_MSG(sim.pending() == 0, "netexec event loop did not drain");
+
+  // Logits from the final unit layer; invalid outputs fall back to the
+  // last-known value (degradation, not a crash).
+  const microdeep::UnitLayer& last = layers.back();
+  ZEIOT_CHECK_MSG(last.kind == microdeep::UnitLayer::Kind::Dense,
+                  "network must end in a dense (logit) layer");
+  res.output = ml::Tensor({1, last.num_units()});
+  for (int i = 0; i < last.num_units(); ++i) {
+    const UnitId u = last.first_unit + static_cast<UnitId>(i);
+    if (unit_valid[u]) {
+      res.output.at({0, i}) = acts[u][0];
+    } else {
+      res.output.at({0, i}) =
+          (memory != nullptr && u < memory->size() && !(*memory)[u].empty())
+              ? (*memory)[u][0]
+              : 0.0f;
+      ++res.substitutions;
+    }
+  }
+  res.latency_s = st.back().any_computed
+                      ? st.back().finish_s
+                      : static_cast<double>(n_plans) * cfg_.layer_deadline_s;
+  res.degraded = res.substitutions > 0;
+
+  for (NodeId n = 0; n < n_nodes; ++n) {
+    res.tx_energy_j += ledger[n].of("tx");
+    res.rx_energy_j += ledger[n].of("rx");
+    res.compute_energy_j += ledger[n].of("compute");
+    res.sense_energy_j += ledger[n].of("sense");
+    res.energy_j += ledger[n].total_joule();
+  }
+
+  if (memory != nullptr) {
+    memory->resize(graph_.num_units());
+    for (UnitId u = 0; u < graph_.num_units(); ++u) {
+      if (unit_valid[u]) (*memory)[u] = acts[u];
+    }
+  }
+
+  if (obs != nullptr) {
+    auto& m = obs->metrics();
+    m.counter("netexec.exec.messages").inc(static_cast<double>(res.messages));
+    m.counter("netexec.exec.transmissions")
+        .inc(static_cast<double>(res.transmissions));
+    m.counter("netexec.exec.retransmissions")
+        .inc(static_cast<double>(res.retransmissions));
+    m.counter("netexec.exec.frames_lost")
+        .inc(static_cast<double>(res.frames_lost));
+    m.counter("netexec.exec.substitutions")
+        .inc(static_cast<double>(res.substitutions));
+    if (res.degraded) m.counter("netexec.exec.degraded").inc();
+    m.summary("netexec.exec.latency_s").observe(res.latency_s);
+    m.summary("netexec.exec.energy_j").observe(res.energy_j);
+  }
+  return res;
+}
+
+NetInferenceResult NetworkExecutor::run(const ml::Tensor& sample) {
+  Rng base(cfg_.seed);
+  const std::uint64_t run_seed = par::substream(base, runs_++)();
+  return run_impl(sample, run_seed, cfg_.obs, cfg_.fault, &memory_);
+}
+
+NetEvalResult NetworkExecutor::evaluate(const ml::Dataset& data,
+                                        par::ThreadPool* pool,
+                                        std::size_t max_samples) {
+  ZEIOT_CHECK_MSG(cfg_.fault == nullptr,
+                  "evaluate() does not support fault injection (the injector "
+                  "RNG is call-order coupled); use run()");
+  const std::size_t n =
+      max_samples > 0 ? std::min(max_samples, data.size()) : data.size();
+  ZEIOT_CHECK_MSG(n > 0, "evaluate() needs at least one sample");
+
+  // One independent simulation per sample into its own slot; aggregation
+  // below runs on the calling thread in index order, so the result is
+  // bit-identical for any worker count.
+  std::vector<NetInferenceResult> slots(n);
+  const Rng base(cfg_.seed);
+  par::parallel_for(
+      n,
+      [&](std::size_t i) {
+        Rng child = par::substream(base, i);
+        slots[i] = run_impl(data.x(i), child(), nullptr, nullptr, nullptr);
+      },
+      pool);
+
+  NetEvalResult ev;
+  ev.samples = n;
+  std::vector<double> lat;
+  lat.reserve(n);
+  std::size_t correct = 0, degraded = 0;
+  double energy = 0.0, retrans = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NetInferenceResult& r = slots[i];
+    if (static_cast<int>(r.output.argmax()) == data.label(i)) ++correct;
+    if (r.degraded) ++degraded;
+    lat.push_back(r.latency_s);
+    energy += r.energy_j;
+    retrans += static_cast<double>(r.retransmissions);
+    ev.messages += r.messages;
+    ev.frames_lost += r.frames_lost;
+  }
+  std::sort(lat.begin(), lat.end());
+  auto pct = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        std::llround(q * static_cast<double>(n - 1)));
+    return lat[std::min(idx, n - 1)];
+  };
+  ev.accuracy = static_cast<double>(correct) / static_cast<double>(n);
+  ev.p50_latency_s = pct(0.50);
+  ev.p99_latency_s = pct(0.99);
+  ev.mean_energy_j = energy / static_cast<double>(n);
+  ev.degraded_fraction =
+      static_cast<double>(degraded) / static_cast<double>(n);
+  ev.mean_retransmissions = retrans / static_cast<double>(n);
+
+  if (cfg_.obs != nullptr) {
+    auto& m = cfg_.obs->metrics();
+    m.gauge("netexec.accuracy").set(ev.accuracy);
+    m.gauge("netexec.p50_latency_s").set(ev.p50_latency_s);
+    m.gauge("netexec.p99_latency_s").set(ev.p99_latency_s);
+    m.gauge("netexec.energy_per_inference_j").set(ev.mean_energy_j);
+    m.gauge("netexec.degraded_fraction").set(ev.degraded_fraction);
+    m.counter("netexec.eval.messages").inc(static_cast<double>(ev.messages));
+    m.counter("netexec.eval.frames_lost")
+        .inc(static_cast<double>(ev.frames_lost));
+    m.counter("netexec.eval.samples").inc(static_cast<double>(n));
+  }
+  return ev;
+}
+
+}  // namespace zeiot::netexec

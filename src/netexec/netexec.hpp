@@ -1,0 +1,198 @@
+// Network-in-the-loop MicroDeep execution (paper Sec. IV.A / IV.C).
+//
+// The ideal executor (microdeep/executor.hpp) delivers activations by
+// assumption: every cross-node message arrives after hop_latency_s * hops,
+// never lost, never queued.  NetworkExecutor closes that gap — it lowers
+// the same per-(producer unit, consumer node) message set into timestamped
+// frames forwarded hop by hop inside sim::Simulator, with
+//  * per-hop airtime from phy::Dot154Phy (or a fixed override),
+//  * per-node radio/CPU serialization,
+//  * loss, retry/timeout/exponential backoff, and per-frame abandonment,
+//  * energy charged per activity through energy::EnergyLedger,
+//  * graceful degradation: a node missing remote activations past the
+//    layer deadline substitutes its last-known value (zero on first
+//    contact) and flags the inference as degraded,
+//  * fault::FaultInjector integration — a node dying mid-inference stops
+//    transmitting and computing but never deadlocks the event loop.
+//
+// Conformance contract (locked down by tests/test_netexec_conformance.cpp):
+// over ChannelConfig::ideal() with zero compute time and no faults, the
+// executor reproduces execute_distributed bit-for-bit — identical logits,
+// identical logical message set, identical MicroDeepHop trace multiset —
+// because both walk the shared microdeep/unit_compute kernels in the same
+// canonical order.
+#pragma once
+
+#include <cstdint>
+
+#include "energy/device.hpp"
+#include "fault/injector.hpp"
+#include "microdeep/assignment.hpp"
+#include "microdeep/unit_compute.hpp"
+#include "ml/dataset.hpp"
+#include "par/parallel.hpp"
+#include "phy/airtime.hpp"
+
+namespace zeiot::netexec {
+
+using microdeep::NodeId;
+using microdeep::UnitId;
+
+/// Transport model of one WSN hop.
+struct ChannelConfig {
+  /// Independent loss probability per hop *attempt* (frames are re-drawn on
+  /// every retry from a keyed substream, so realizations are coupled
+  /// monotonically across loss levels: raising the probability can only
+  /// turn successes into losses, never the reverse).
+  double loss_per_hop = 0.0;
+  /// Forwarding overhead added after each hop's airtime (queueing, turnaround).
+  double hop_processing_s = 0.0;
+  /// 802.15.4 O-QPSK airtime model for activation frames.
+  phy::Dot154Phy phy{};
+  /// MAC/NWK header bytes added to every activation payload.
+  std::size_t header_bytes = 9;
+  /// When >= 0, overrides the airtime model with a fixed per-hop latency
+  /// (0 gives the zero-latency conformance channel).
+  double fixed_hop_latency_s = -1.0;
+
+  /// Airtime of one frame carrying `payload_bytes` of activations.
+  double hop_latency_s(std::size_t payload_bytes) const;
+
+  /// Zero-loss / zero-latency channel: the conformance configuration that
+  /// must reproduce the ideal executor bit-for-bit.
+  static ChannelConfig ideal();
+};
+
+struct NetExecConfig {
+  ChannelConfig channel{};
+  /// Retransmissions allowed per hop before the frame is abandoned.
+  int max_retries = 3;
+  /// First retry delay after a lost frame (no ACK within this window).
+  double ack_timeout_s = 4e-3;
+  /// Retry k waits ack_timeout_s * backoff_factor^k.
+  double backoff_factor = 2.0;
+  /// Per-unit MCU compute time (0 gives the zero-time conformance setup).
+  double unit_compute_s = 100e-6;
+  /// Energy-accounting duration of the initial sensing activity (does not
+  /// affect timing; inputs are available at t = 0 like the ideal executor).
+  double sense_s = 10e-3;
+  /// Node computing unit layer k+1 gives up waiting for remote activations
+  /// at absolute time (k+1) * layer_deadline_s and substitutes last-known
+  /// values — the termination guarantee of the event loop.
+  double layer_deadline_s = 0.25;
+  /// Seed of the keyed per-(frame, hop, attempt) loss substreams.
+  std::uint64_t seed = 1;
+  energy::ActivityCosts costs{};
+  /// Null-sink observability (metrics + MicroDeepHop/PacketTx/PacketRx
+  /// traces) following the library convention.
+  obs::Observability* obs = nullptr;
+  /// Optional fault injector; node death/drop/corrupt/delay are honored at
+  /// plan time fault_time_offset + sim.now().  run() only — evaluate()
+  /// requires nullptr (the injector RNG is call-order coupled).
+  fault::FaultInjector* fault = nullptr;
+  double fault_time_offset = 0.0;
+};
+
+/// Outcome of one network-in-the-loop inference.
+struct NetInferenceResult {
+  ml::Tensor output;            // logits, shape (1, K)
+  double latency_s = 0.0;       // last output unit available
+  bool degraded = false;        // any activation substituted
+  std::uint64_t messages = 0;         // logical (producer unit, consumer node)
+  std::uint64_t transmissions = 0;    // per-hop frame attempts
+  std::uint64_t retransmissions = 0;  // of those, retries after a loss
+  std::uint64_t frames_lost = 0;      // frames abandoned after max_retries
+  std::uint64_t late_frames = 0;      // delivered after the consumer computed
+  std::uint64_t substitutions = 0;    // activations replaced by last-known
+  double energy_j = 0.0;        // total across nodes
+  double tx_energy_j = 0.0;
+  double rx_energy_j = 0.0;
+  double compute_energy_j = 0.0;
+  double sense_energy_j = 0.0;
+};
+
+/// Dataset-level aggregate of evaluate().
+struct NetEvalResult {
+  double accuracy = 0.0;
+  double p50_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  double mean_energy_j = 0.0;
+  double degraded_fraction = 0.0;
+  double mean_retransmissions = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t frames_lost = 0;
+  std::size_t samples = 0;
+};
+
+class NetworkExecutor {
+ public:
+  /// `net` must be the network `graph` was built from; all four references
+  /// must outlive the executor.  The inter-node message plan is lowered
+  /// once here and reused by every inference.
+  NetworkExecutor(ml::Network& net, const microdeep::UnitGraph& graph,
+                  const microdeep::Assignment& assignment,
+                  const microdeep::WsnTopology& wsn, NetExecConfig cfg = {});
+
+  /// Runs one (C,H,W) sample through the simulated network.  Sequential
+  /// inferences share the last-known activation memory, so a degraded
+  /// inference substitutes values from the previous one.
+  NetInferenceResult run(const ml::Tensor& sample);
+
+  /// Evaluates `data` (capped at `max_samples` when > 0) with one
+  /// independent simulation per sample (seed split per index, no shared
+  /// memory), chunked over `pool` — bit-identical for any ZEIOT_THREADS.
+  /// Emits netexec.accuracy / netexec.p50_latency_s / netexec.p99_latency_s
+  /// / netexec.energy_per_inference_j / netexec.degraded_fraction gauges
+  /// (plus message counters) into cfg.obs.  Requires cfg.fault == nullptr.
+  NetEvalResult evaluate(const ml::Dataset& data,
+                         par::ThreadPool* pool = nullptr,
+                         std::size_t max_samples = 0);
+
+  /// Clears the last-known activation memory (fresh deployment).
+  void reset_memory();
+
+  const NetExecConfig& config() const { return cfg_; }
+
+ private:
+  /// One logical activation message: the producer unit's channel vector,
+  /// routed src_node -> dst_node over BFS shortest paths.
+  struct Message {
+    UnitId src = 0;
+    NodeId src_node = 0;
+    NodeId dst_node = 0;
+    int hops = 0;
+  };
+
+  /// Static lowering of one produced unit layer (plan k: unit layer k ->
+  /// unit layer k+1).
+  struct LayerPlan {
+    std::size_t net_layer = 0;  // index into net of the producing layer
+    std::size_t in_layer = 0;   // consumed unit layer
+    std::size_t out_layer = 0;  // produced unit layer
+    bool relu_after = false;    // folded elementwise ReLU
+    std::size_t payload_bytes = 0;  // activation bytes per message
+    std::uint64_t first_uid = 0;    // global uid of messages[0]
+    std::vector<Message> messages;  // canonical executor dedup order
+    std::vector<std::vector<std::size_t>> out_msgs;  // per src node
+    std::vector<std::vector<std::size_t>> in_msgs;   // per dst node
+    std::vector<std::vector<UnitId>> local_srcs;     // per node, same-node deps
+    std::vector<std::vector<UnitId>> units;          // produced units per node
+  };
+
+  void build_plans();
+  NetInferenceResult run_impl(const ml::Tensor& sample, std::uint64_t seed,
+                              obs::Observability* obs,
+                              fault::FaultInjector* fault,
+                              microdeep::ActTable* memory) const;
+
+  ml::Network& net_;
+  const microdeep::UnitGraph& graph_;
+  const microdeep::Assignment& assignment_;
+  const microdeep::WsnTopology& wsn_;
+  NetExecConfig cfg_;
+  std::vector<LayerPlan> plans_;
+  microdeep::ActTable memory_;  // last-known activations across run() calls
+  std::uint64_t runs_ = 0;      // run() counter, keys per-inference substreams
+};
+
+}  // namespace zeiot::netexec

@@ -16,6 +16,7 @@
 #include "mac/collection.hpp"
 #include "mac/csma.hpp"
 #include "microdeep/executor.hpp"
+#include "netexec/netexec.hpp"
 #include "sim/simulator.hpp"
 
 namespace zeiot::fault {
@@ -543,6 +544,105 @@ TEST(FaultWiring, InvariantCheckerHoldsUnderChaosRun) {
   EXPECT_TRUE(chk.check_no_dead_sender(obs.trace(), inj))
       << "no delivered backscatter frame may originate from a dead tag";
   chk.require_clean();
+}
+
+// -- Network-in-the-loop execution under faults ----------------------------
+
+TEST(FaultWiring, NetexecNodeDeathMidInferenceTerminatesDegraded) {
+  // Kill the node owning a hidden-layer (dense) unit while its inference is
+  // in flight.  The event loop must still drain (the per-layer deadline is
+  // the termination guarantee), the consumers must substitute the missing
+  // activations, and the result must carry the degraded flag.
+  Rng rng(41);
+  ml::Network net;
+  net.emplace<ml::Conv2D>(1, 3, 3, 1, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::MaxPool2D>(2);
+  net.emplace<ml::Flatten>();
+  net.emplace<ml::Dense>(3 * 3 * 3, 6, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::Dense>(6, 2, rng);
+  const auto graph = microdeep::UnitGraph::build(net, {1, 6, 6});
+  const auto wsn = microdeep::WsnTopology::grid({0.0, 0.0, 10.0, 10.0}, 4, 4);
+  const auto assignment = microdeep::assign_nearest(graph, wsn);
+
+  // The first Dense layer in the unit graph is the hidden one; its owner is
+  // the victim.
+  microdeep::UnitId hidden_unit = 0;
+  bool found = false;
+  for (const auto& layer : graph.layers()) {
+    if (layer.kind == microdeep::UnitLayer::Kind::Dense) {
+      hidden_unit = layer.first_unit;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  const auto victim = assignment.node_of(hidden_unit);
+
+  // Death at 1 ms: input frames are already in flight (per-hop airtime is
+  // ~1.3 ms under the default 802.15.4 channel) but the hidden layer has
+  // not computed yet — squarely mid-inference.
+  FaultPlan plan({FaultEvent{1e-3, FaultType::NodeDeath,
+                             static_cast<std::uint32_t>(victim)}});
+  FaultInjector inj(std::move(plan));
+
+  netexec::NetExecConfig cfg;
+  cfg.fault = &inj;
+  netexec::NetworkExecutor exec(net, graph, assignment, wsn, cfg);
+
+  ml::Tensor sample({1, 6, 6});
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    sample[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  const auto r = exec.run(sample);  // returning at all proves termination
+
+  EXPECT_TRUE(r.degraded);
+  EXPECT_GT(r.substitutions, 0u);
+  EXPECT_EQ(r.output.size(), 2u);
+  EXPECT_GT(r.latency_s, 0.0);
+  // A dead owner never ships its outputs: the frames addressed to / from it
+  // are abandoned, not retried forever.
+  EXPECT_GT(r.frames_lost + r.substitutions, 0u);
+
+  // The executor must stay usable after the fault run: the victim stays
+  // dead (point event, no revival), so later inferences degrade too but
+  // still terminate.
+  const auto r2 = exec.run(sample);
+  EXPECT_TRUE(r2.degraded);
+}
+
+TEST(FaultWiring, NetexecDeadSensingNodeSubstitutesItsInputs) {
+  // A node that is already dead at t=0 cannot sense: every input unit it
+  // owns is substituted (zeros on first contact) and the run degrades, but
+  // the remaining nodes still produce a full-sized output vector.
+  Rng rng(42);
+  ml::Network net;
+  net.emplace<ml::Conv2D>(1, 2, 3, 1, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::Flatten>();
+  net.emplace<ml::Dense>(2 * 6 * 6, 2, rng);
+  const auto graph = microdeep::UnitGraph::build(net, {1, 6, 6});
+  const auto wsn = microdeep::WsnTopology::grid({0.0, 0.0, 10.0, 10.0}, 3, 3);
+  const auto assignment = microdeep::assign_nearest(graph, wsn);
+
+  const auto victim = assignment.node_of(graph.layers().front().first_unit);
+  FaultPlan plan({FaultEvent{0.0, FaultType::NodeDeath,
+                             static_cast<std::uint32_t>(victim)}});
+  FaultInjector inj(std::move(plan));
+
+  netexec::NetExecConfig cfg;
+  cfg.fault = &inj;
+  netexec::NetworkExecutor exec(net, graph, assignment, wsn, cfg);
+
+  ml::Tensor sample({1, 6, 6});
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    sample[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  const auto r = exec.run(sample);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_GT(r.substitutions, 0u);
+  EXPECT_EQ(r.output.size(), 2u);
 }
 
 }  // namespace

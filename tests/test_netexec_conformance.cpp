@@ -1,0 +1,342 @@
+// Differential conformance suite: NetworkExecutor (network-in-the-loop)
+// against the ideal MicroDeep executor.
+//
+// The load-bearing contract: over a zero-loss/zero-latency channel the
+// event-driven execution must reproduce execute_distributed bit-for-bit —
+// identical logits, identical logical message count, and an identical
+// MicroDeepHop trace multiset (canonical digest) — on randomized
+// topologies and assignments.  Lossy channels must be deterministic per
+// seed, and raising the loss probability must never reduce the number of
+// retransmissions (keyed-substream monotone coupling).
+#include "netexec/netexec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <tuple>
+
+#include "microdeep/executor.hpp"
+#include "par/thread_pool.hpp"
+
+namespace zeiot::netexec {
+namespace {
+
+using microdeep::Assignment;
+using microdeep::UnitGraph;
+using microdeep::WsnTopology;
+
+const Rect kArea{0.0, 0.0, 10.0, 10.0};
+
+ml::Network make_cnn(Rng& rng, int in_ch, int grid) {
+  ml::Network net;
+  net.emplace<ml::Conv2D>(in_ch, 3, 3, 1, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::MaxPool2D>(2);
+  net.emplace<ml::Flatten>();
+  net.emplace<ml::Dense>(3 * (grid / 2) * (grid / 2), 6, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::Dense>(6, 2, rng);
+  return net;
+}
+
+ml::Tensor random_sample(std::vector<int> shape, std::uint64_t seed) {
+  Rng rng(seed);
+  ml::Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+/// Conformance channel: no loss, no latency, no compute time.
+NetExecConfig ideal_config() {
+  NetExecConfig cfg;
+  cfg.channel = ChannelConfig::ideal();
+  cfg.unit_compute_s = 0.0;
+  return cfg;
+}
+
+/// MicroDeepHop events only (netexec additionally traces per-hop
+/// PacketTx/PacketRx, which the ideal executor does not model), sorted
+/// into canonical order so the two executors' event interleavings compare
+/// as multisets.
+std::vector<obs::TraceEvent> hop_events(const obs::Observability& o) {
+  std::vector<obs::TraceEvent> evs;
+  for (const obs::TraceEvent& e : o.trace().snapshot()) {
+    if (e.type == obs::TraceType::MicroDeepHop) evs.push_back(e);
+  }
+  std::sort(evs.begin(), evs.end(),
+            [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+              return std::tie(a.t, a.a, a.b, a.value) <
+                     std::tie(b.t, b.a, b.b, b.value);
+            });
+  return evs;
+}
+
+/// FNV-1a over the canonical event list (bit-exact field encoding, the
+/// TraceRecorder::digest convention applied to the sorted view).
+std::uint64_t canonical_digest(const std::vector<obs::TraceEvent>& evs) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const void* p, std::size_t len) {
+    const auto* bytes = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const obs::TraceEvent& e : evs) {
+    mix(&e.t, sizeof(e.t));
+    const auto ty = static_cast<std::uint8_t>(e.type);
+    mix(&ty, sizeof(ty));
+    mix(&e.a, sizeof(e.a));
+    mix(&e.b, sizeof(e.b));
+    mix(&e.value, sizeof(e.value));
+  }
+  return h;
+}
+
+void expect_bitwise_equal(const ml::Tensor& a, const ml::Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float fa = a[i], fb = b[i];
+    std::uint32_t ba = 0, bb = 0;
+    std::memcpy(&ba, &fa, sizeof(ba));
+    std::memcpy(&bb, &fb, sizeof(bb));
+    EXPECT_EQ(ba, bb) << "logit " << i << " diverges bitwise: " << a[i]
+                      << " vs " << b[i];
+  }
+}
+
+struct Scenario {
+  ml::Network net;
+  UnitGraph graph;
+  WsnTopology wsn;
+  Assignment assignment;
+  std::vector<int> shape;
+};
+
+/// Randomized topology + assignment drawn from one seed.
+Scenario make_scenario(std::uint64_t seed) {
+  Rng rng(seed);
+  const int in_ch = static_cast<int>(rng.uniform_int(1, 3));
+  const int grid = rng.bernoulli(0.5) ? 6 : 8;
+  ml::Network net = make_cnn(rng, in_ch, grid);
+  UnitGraph graph = UnitGraph::build(net, {in_ch, grid, grid});
+  const int topo = static_cast<int>(rng.uniform_int(0, 2));
+  WsnTopology wsn =
+      topo == 0   ? WsnTopology::grid(kArea, 4, 4)
+      : topo == 1 ? WsnTopology::jittered_grid(kArea, 4, 4, rng)
+                  : WsnTopology::random_uniform(kArea, 16, rng);
+  const int kind = static_cast<int>(rng.uniform_int(0, 2));
+  Assignment assignment =
+      kind == 0 ? microdeep::assign_nearest(graph, wsn)
+      : kind == 1
+          ? microdeep::assign_centralized(
+                graph, wsn,
+                static_cast<microdeep::NodeId>(
+                    rng.uniform_int(0, static_cast<std::int64_t>(
+                                           wsn.num_nodes()) - 1)))
+          : microdeep::assign_balanced_heuristic(graph, wsn);
+  return {std::move(net), std::move(graph), std::move(wsn),
+          std::move(assignment), std::vector<int>{in_ch, grid, grid}};
+}
+
+TEST(NetexecConformance, IdealChannelBitMatchesExecutorRandomized) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Scenario s = make_scenario(seed);
+    const ml::Tensor sample = random_sample(s.shape, 100 + seed);
+
+    obs::Observability ideal_obs(1 << 16);
+    microdeep::LatencyModel zero;
+    zero.hop_latency_s = 0.0;
+    zero.unit_compute_s = 0.0;
+    const auto ref = execute_distributed(s.net, s.graph, s.assignment, s.wsn,
+                                         sample, zero, &ideal_obs);
+
+    obs::Observability net_obs(1 << 16);
+    NetExecConfig cfg = ideal_config();
+    cfg.obs = &net_obs;
+    NetworkExecutor exec(s.net, s.graph, s.assignment, s.wsn, cfg);
+    const auto got = exec.run(sample);
+
+    expect_bitwise_equal(got.output, ref.output);
+    EXPECT_EQ(static_cast<double>(got.messages), ref.total_messages)
+        << "seed " << seed;
+    EXPECT_FALSE(got.degraded);
+    EXPECT_EQ(got.frames_lost, 0u);
+    EXPECT_EQ(got.retransmissions, 0u);
+
+    const auto ref_hops = hop_events(ideal_obs);
+    const auto got_hops = hop_events(net_obs);
+    ASSERT_EQ(ref_hops.size(), got_hops.size()) << "seed " << seed;
+    EXPECT_EQ(ref_hops, got_hops) << "seed " << seed;
+    EXPECT_EQ(canonical_digest(ref_hops), canonical_digest(got_hops))
+        << "seed " << seed;
+  }
+}
+
+TEST(NetexecConformance, LosslessRealTimingStillBitMatchesOutputs) {
+  // With zero loss the consumers always wait for complete inputs, so the
+  // logits must stay bit-identical even under real airtime, per-node
+  // radio/CPU serialization, and nonzero compute time.
+  Scenario s = make_scenario(3);
+  const ml::Tensor sample = random_sample(s.shape, 42);
+  const auto ref =
+      execute_distributed(s.net, s.graph, s.assignment, s.wsn, sample);
+
+  NetworkExecutor exec(s.net, s.graph, s.assignment, s.wsn, NetExecConfig{});
+  const auto got = exec.run(sample);
+  expect_bitwise_equal(got.output, ref.output);
+  EXPECT_GT(got.latency_s, 0.0);
+  EXPECT_GT(got.energy_j, 0.0);
+  EXPECT_FALSE(got.degraded);
+}
+
+TEST(NetexecConformance, EvaluateBitIdenticalAcrossThreadCounts) {
+  Scenario s = make_scenario(5);
+  ml::Dataset data;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    data.add(random_sample(s.shape, 200 + i), static_cast<int>(i % 2));
+  }
+  NetExecConfig cfg;
+  cfg.channel.loss_per_hop = 0.1;
+  cfg.max_retries = 64;
+  cfg.seed = 7;
+
+  NetworkExecutor a(s.net, s.graph, s.assignment, s.wsn, cfg);
+  NetworkExecutor b(s.net, s.graph, s.assignment, s.wsn, cfg);
+  par::ThreadPool one(1);
+  par::ThreadPool four(4);
+  const auto ra = a.evaluate(data, &one);
+  const auto rb = b.evaluate(data, &four);
+
+  EXPECT_EQ(ra.accuracy, rb.accuracy);
+  EXPECT_EQ(ra.p50_latency_s, rb.p50_latency_s);
+  EXPECT_EQ(ra.p99_latency_s, rb.p99_latency_s);
+  EXPECT_EQ(ra.mean_energy_j, rb.mean_energy_j);
+  EXPECT_EQ(ra.mean_retransmissions, rb.mean_retransmissions);
+  EXPECT_EQ(ra.messages, rb.messages);
+  EXPECT_EQ(ra.frames_lost, rb.frames_lost);
+}
+
+TEST(NetexecConformance, LossyRunsAreSeedDeterministic) {
+  Scenario s = make_scenario(6);
+  const ml::Tensor sample = random_sample(s.shape, 77);
+  NetExecConfig cfg;
+  cfg.channel.loss_per_hop = 0.3;
+  cfg.max_retries = 2;  // force real losses and substitutions
+  cfg.seed = 99;
+
+  auto once = [&]() {
+    obs::Observability o(1 << 16);
+    NetExecConfig c = cfg;
+    c.obs = &o;
+    NetworkExecutor exec(s.net, s.graph, s.assignment, s.wsn, c);
+    auto r = exec.run(sample);
+    return std::make_tuple(std::move(r), o.trace().digest());
+  };
+  auto [r1, d1] = once();
+  auto [r2, d2] = once();
+
+  expect_bitwise_equal(r1.output, r2.output);
+  EXPECT_EQ(d1, d2) << "same-seed lossy runs must produce identical traces";
+  EXPECT_EQ(r1.transmissions, r2.transmissions);
+  EXPECT_EQ(r1.retransmissions, r2.retransmissions);
+  EXPECT_EQ(r1.frames_lost, r2.frames_lost);
+  EXPECT_EQ(r1.substitutions, r2.substitutions);
+  EXPECT_EQ(r1.degraded, r2.degraded);
+  EXPECT_GT(r1.retransmissions, 0u);
+}
+
+TEST(NetexecConformance, MoreLossNeverFewerRetransmissions) {
+  Scenario s = make_scenario(7);
+  const ml::Tensor sample = random_sample(s.shape, 88);
+  // max_retries is set high enough that no frame is ever abandoned at
+  // these loss levels (asserted below): every frame then traverses its
+  // full route, and the keyed coupling makes per-hop retry counts a
+  // monotone function of the loss probability.
+  const double levels[] = {0.0, 0.02, 0.1, 0.25};
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (const double p : levels) {
+    NetExecConfig cfg;
+    cfg.channel.loss_per_hop = p;
+    cfg.max_retries = 64;
+    cfg.seed = 4242;
+    NetworkExecutor exec(s.net, s.graph, s.assignment, s.wsn, cfg);
+    std::uint64_t retrans = 0;
+    for (int i = 0; i < 3; ++i) {
+      const auto r = exec.run(sample);
+      ASSERT_EQ(r.frames_lost, 0u) << "loss " << p;
+      ASSERT_FALSE(r.degraded) << "loss " << p;
+      retrans += r.retransmissions;
+    }
+    if (!first) {
+      EXPECT_GE(retrans, prev) << "loss " << p;
+    }
+    first = false;
+    prev = retrans;
+  }
+  EXPECT_GT(prev, 0u) << "highest loss level should retransmit";
+}
+
+TEST(NetexecConformance, HeavyLossDegradesButTerminates) {
+  Scenario s = make_scenario(8);
+  const ml::Tensor sample = random_sample(s.shape, 123);
+  NetExecConfig cfg;
+  cfg.channel.loss_per_hop = 0.9;
+  cfg.max_retries = 0;  // nearly every cross-node activation is lost
+  cfg.seed = 11;
+  NetworkExecutor exec(s.net, s.graph, s.assignment, s.wsn, cfg);
+  const auto r = exec.run(sample);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_GT(r.substitutions, 0u);
+  EXPECT_GT(r.frames_lost, 0u);
+  ASSERT_EQ(r.output.size(), 2u);  // the event loop drained and emitted
+}
+
+TEST(NetexecConformance, LastKnownMemorySubstitutesAcrossInferences) {
+  // Centralized assignment: every non-input unit on the sink, so the only
+  // cross-node traffic is input activations flowing in.  Under heavy loss
+  // the cold sink substitutes zeros; but after one inference the
+  // last-known memory holds every input unit's *true* activation (inputs
+  // are always valid at their sensing node), so the second inference on
+  // the same sample — substituted or delivered alike — feeds the sink
+  // exact values and must reproduce the ideal logits bit-for-bit while
+  // still being flagged degraded.
+  Rng rng(21);
+  ml::Network net = make_cnn(rng, 2, 6);
+  UnitGraph graph = UnitGraph::build(net, {2, 6, 6});
+  WsnTopology wsn = WsnTopology::grid(kArea, 4, 4);
+  Assignment assignment = microdeep::assign_centralized(graph, wsn, 9);
+  const ml::Tensor sample = random_sample({2, 6, 6}, 55);
+
+  microdeep::LatencyModel zero;
+  zero.hop_latency_s = 0.0;
+  zero.unit_compute_s = 0.0;
+  const auto ideal =
+      execute_distributed(net, graph, assignment, wsn, sample, zero);
+
+  NetExecConfig lossy;
+  lossy.channel.loss_per_hop = 0.9;
+  lossy.max_retries = 0;
+  lossy.seed = 5;
+  NetworkExecutor exec(net, graph, assignment, wsn, lossy);
+
+  const auto first = exec.run(sample);
+  EXPECT_TRUE(first.degraded);
+  EXPECT_GT(first.substitutions, 0u);
+
+  const auto second = exec.run(sample);
+  EXPECT_TRUE(second.degraded);  // frames are still lost...
+  expect_bitwise_equal(second.output, ideal.output);  // ...values are not
+
+  // reset_memory() returns the executor to the cold zero-substitute state.
+  exec.reset_memory();
+  const auto third = exec.run(sample);
+  EXPECT_TRUE(third.degraded);
+}
+
+}  // namespace
+}  // namespace zeiot::netexec
