@@ -14,6 +14,8 @@
 #include "ml/kernels/gemm.hpp"
 #include "ml/kernels/im2col.hpp"
 #include "ml/kernels/reference.hpp"
+#include "netexec/netexec.hpp"
+#include "obs/span.hpp"
 #include "phy/beamforming.hpp"
 #include "sim/simulator.hpp"
 
@@ -225,6 +227,35 @@ void BM_UnitGraphBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_UnitGraphBuild);
 
+// Span-recorder hot path: one root open/close plus one closed child per
+// iteration.  The enabled variant prices what tracing adds per recorded
+// span; the disabled variant must price as a bool test per call — the
+// null-sink guarantee every instrumented subsystem relies on.
+void BM_SpanRecord(benchmark::State& state) {
+  obs::SpanRecorder rec(1 << 16);
+  for (auto _ : state) {
+    if (rec.size() + 2 > rec.capacity()) rec.clear();
+    const obs::SpanId root = rec.open(obs::SpanKind::Inference, 0.0, 0, 42);
+    rec.add(obs::SpanKind::HopTx, 0.0, 1e-3, root, 42, 1, 2, 3e-6);
+    rec.close(root, 2e-3, 1.0);
+    benchmark::DoNotOptimize(rec.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);  // spans recorded
+}
+BENCHMARK(BM_SpanRecord);
+
+void BM_SpanRecordDisabled(benchmark::State& state) {
+  obs::SpanRecorder rec;  // capacity 0: the null sink
+  for (auto _ : state) {
+    const obs::SpanId root = rec.open(obs::SpanKind::Inference, 0.0, 0, 42);
+    rec.add(obs::SpanKind::HopTx, 0.0, 1e-3, root, 42, 1, 2, 3e-6);
+    rec.close(root, 2e-3, 1.0);
+    benchmark::DoNotOptimize(rec.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_SpanRecordDisabled);
+
 }  // namespace
 
 // Custom main (instead of benchmark_main) so the binary can emit the
@@ -347,6 +378,49 @@ int main(int argc, char** argv) {
                              },
                              50),
                          1.0);
+    }
+
+    // Tracing-overhead check: the same short netexec replay timed three
+    // ways — no observability, a null-sink context (spans disabled), and
+    // spans enabled.  Span capture must stay within ~5% of the null-sink
+    // wall time; the spans-disabled guard itself prices at ~0% (see
+    // BM_SpanRecordDisabled for the per-call cost).  Ratios are published
+    // as gauges so tools/bench_compare tracks them run over run; the 5%
+    // bound warns rather than fails because single-shot wall clocks on CI
+    // runners are noisy.
+    {
+      const ml::Tensor sample = random_tensor({1, 17, 25}, 12);
+      netexec::NetExecConfig ncfg;
+      ncfg.channel.loss_per_hop = 0.05;  // exercise retry/backoff spans
+      constexpr int kRuns = 4;
+      const auto replay = [&](obs::Observability* nobs) {
+        netexec::NetExecConfig c = ncfg;
+        c.obs = nobs;
+        netexec::NetworkExecutor exec(net, g, a, wsn, c);
+        for (int i = 0; i < kRuns; ++i) (void)exec.run(sample);
+      };
+      const double noobs_s = bench::time_workload([&] { replay(nullptr); });
+      obs::Observability null_obs;  // metrics + trace, spans disabled
+      const double null_s = bench::time_workload([&] { replay(&null_obs); });
+      obs::Observability span_obs;
+      span_obs.enable_spans(1 << 18);
+      const double spans_s = bench::time_workload([&] {
+        span_obs.spans().clear();
+        replay(&span_obs);
+      });
+      bench::record_perf(obs, "netexec_noobs", noobs_s, kRuns);
+      bench::record_perf(obs, "netexec_null_sink", null_s, kRuns);
+      bench::record_perf(obs, "netexec_spans", spans_s, kRuns);
+      obs.metrics()
+          .gauge("obs.overhead.null_sink_ratio")
+          .set(null_s / noobs_s);
+      obs.metrics().gauge("obs.overhead.spans_ratio").set(spans_s / null_s);
+      if (spans_s > null_s * 1.05) {
+        std::cerr << "WARNING: bench_a3_micro: span tracing overhead "
+                  << (spans_s / null_s - 1.0) * 100.0
+                  << "% exceeds the 5% budget (null-sink replay " << null_s
+                  << " s, spans-enabled " << spans_s << " s)\n";
+      }
     }
   }
   bench::write_bench_report("bench_a3_micro", obs);

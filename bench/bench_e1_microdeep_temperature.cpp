@@ -92,6 +92,9 @@ int main(int argc, char** argv) {
   const auto args = bench::parse_bench_args(argc, argv);
   std::cout << "=== E1: MicroDeep temperature experiment (Sec. IV.C) ===\n";
   obs::Observability obs;
+  // One causal span tree per netexec inference (NetworkExecutor is the
+  // only span emitter wired to this context).
+  obs.enable_spans(1 << 17);
   datagen::TemperatureFieldConfig field;  // paper scale: 2,961 samples
   ml::Dataset all = datagen::generate_temperature_dataset(field);
   if (args.smoke) {  // ~15% of the samples keeps the smoke run in seconds
@@ -168,6 +171,23 @@ int main(int argc, char** argv) {
               Table::num(nx.mean_energy_j * 1e6, 2),
               Table::pct(nx.degraded_fraction)});
   nt.print(std::cout);
+
+  // Root-span latency attribution (phases tile each inference's root span,
+  // so every column sums to the corresponding latency percentile).
+  Table bt({"latency phase", "p50 (ms)", "p99 (ms)"});
+  bt.add_row({"compute", Table::num(nx.p50_breakdown.compute_s * 1e3, 3),
+              Table::num(nx.p99_breakdown.compute_s * 1e3, 3)});
+  bt.add_row({"airtime", Table::num(nx.p50_breakdown.airtime_s * 1e3, 3),
+              Table::num(nx.p99_breakdown.airtime_s * 1e3, 3)});
+  bt.add_row({"retry (backoff)", Table::num(nx.p50_breakdown.retry_s * 1e3, 3),
+              Table::num(nx.p99_breakdown.retry_s * 1e3, 3)});
+  bt.add_row({"idle (queueing/deadline)",
+              Table::num(nx.p50_breakdown.idle_s * 1e3, 3),
+              Table::num(nx.p99_breakdown.idle_s * 1e3, 3)});
+  bt.print(std::cout);
+  std::cout << "spans: " << obs.spans().size() << " recorded, "
+            << obs.spans().root_count() << " roots (inferences), "
+            << obs.spans().dropped() << " dropped\n";
 
   obs.metrics().gauge("bench.e1.standard_accuracy").set(standard.accuracy);
   obs.metrics().gauge("bench.e1.microdeep_accuracy").set(microdeep_r.accuracy);

@@ -72,6 +72,10 @@ int main(int argc, char** argv) {
   const auto args = bench::parse_bench_args(argc, argv);
   std::cout << "=== E2 / Fig. 10: IR-array fall detection (Sec. IV.C) ===\n";
   obs::Observability obs;
+  // Span capacity covers the full netexec replay (one tree per inference);
+  // the only span emitter wired to this context is NetworkExecutor, so the
+  // exported root-span count equals the inference count.
+  obs.enable_spans(1 << 17);
   datagen::IrGaitConfig gait;  // paper scale: 55 streams -> 6,270 arrays
   if (args.smoke) {
     gait.num_streams = 8;
@@ -161,6 +165,26 @@ int main(int argc, char** argv) {
               Table::num(b.netexec.mean_energy_j * 1e6, 2),
               Table::pct(b.netexec.degraded_fraction)});
   nt.print(std::cout);
+
+  // Root-span latency attribution: where each inference's wall (virtual)
+  // time went, per percentile.  The four phases tile the root span, so
+  // each column's phases sum to the corresponding latency percentile.
+  Table bt({"latency phase", "p50 (ms)", "p99 (ms)"});
+  bt.add_row({"compute", Table::num(b.netexec.p50_breakdown.compute_s * 1e3, 3),
+              Table::num(b.netexec.p99_breakdown.compute_s * 1e3, 3)});
+  bt.add_row({"airtime", Table::num(b.netexec.p50_breakdown.airtime_s * 1e3, 3),
+              Table::num(b.netexec.p99_breakdown.airtime_s * 1e3, 3)});
+  bt.add_row({"retry (backoff)",
+              Table::num(b.netexec.p50_breakdown.retry_s * 1e3, 3),
+              Table::num(b.netexec.p99_breakdown.retry_s * 1e3, 3)});
+  bt.add_row({"idle (queueing/deadline)",
+              Table::num(b.netexec.p50_breakdown.idle_s * 1e3, 3),
+              Table::num(b.netexec.p99_breakdown.idle_s * 1e3, 3)});
+  bt.print(std::cout);
+  std::cout << "spans: " << obs.spans().size() << " recorded, "
+            << obs.spans().root_count() << " roots (inferences), "
+            << obs.spans().dropped() << " dropped; Chrome trace -> "
+            << "bench_e2_fall_commcost.trace.json\n";
 
   obs.metrics().gauge("bench.e2.optimal_accuracy").set(a.accuracy.mean());
   obs.metrics().gauge("bench.e2.heuristic_accuracy").set(b.accuracy.mean());

@@ -18,6 +18,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
@@ -111,7 +112,12 @@ auto parallel_sweep(std::size_t points, obs::Observability& obs, Fn&& fn,
 }
 
 inline void run_calibration_probes(obs::Observability& obs) {
-  obs::SimulatorProbe probe(obs);
+  // The probes run in a *private* context and contribute metrics only:
+  // merging their spans or traces into `obs` would pollute the bench's own
+  // causal record (e.g. the root-span count of a netexec bench must equal
+  // its inference count, not inferences + calibration rounds).
+  obs::Observability calib;
+  obs::SimulatorProbe probe(calib);
   sim::Simulator sim;
   sim.set_observer(&probe);
   Rng rng(12345);
@@ -123,15 +129,43 @@ inline void run_calibration_probes(obs::Observability& obs) {
   mac::CsmaConfig csma;
   csma.num_stations = 3;  // label distinct from the populations a4 sweeps
   csma.seed = 99;
-  (void)mac::simulate_csma(csma, 20000, &obs);
+  (void)mac::simulate_csma(csma, 20000, &calib);
+  obs.metrics().merge(calib.metrics());
 }
 
 /// Runs the calibration probes into `obs`, then writes
-/// `<name>.metrics.json` (honouring ZEIOT_METRICS_DIR).
+/// `<name>.metrics.json` (honouring ZEIOT_METRICS_DIR).  Before
+/// serializing it surfaces the lossiness of the recorders as metrics —
+/// `obs.trace.dropped_events` and `obs.spans.dropped` counters — and
+/// prints a warning line when either recorder overflowed, so a truncated
+/// record never masquerades as a complete one (tools/obs_report.py turns
+/// the span warning into a CI failure).  Profiler regions are published as
+/// prof.* gauges, and when spans were recorded the sibling
+/// `<name>.spans.jsonl` + `<name>.trace.json` exports are written too.
 inline void write_bench_report(const std::string& name,
                                obs::Observability& obs) {
   run_calibration_probes(obs);
-  obs::Report(name).write_file(obs);
+  obs.profiler().report(obs.metrics());
+  if (obs.trace().dropped() > 0) {
+    obs.metrics()
+        .counter("obs.trace.dropped_events")
+        .inc(static_cast<double>(obs.trace().dropped()));
+    std::cerr << "WARNING: " << name << ": trace ring dropped "
+              << obs.trace().dropped()
+              << " events; oldest events are missing from the export\n";
+  }
+  if (obs.spans().dropped() > 0) {
+    obs.metrics()
+        .counter("obs.spans.dropped")
+        .inc(static_cast<double>(obs.spans().dropped()));
+    std::cerr << "WARNING: " << name << ": span recorder dropped "
+              << obs.spans().dropped()
+              << " spans; raise the enable_spans capacity\n";
+  }
+  const obs::Report report(name);
+  report.write_file(obs);
+  report.write_spans_file(obs.spans());
+  report.write_chrome_trace_file(obs.spans());
 }
 
 }  // namespace zeiot::bench

@@ -72,14 +72,25 @@ double Histogram::bin_high(std::size_t bin) const {
 double Histogram::quantile(double q) const {
   ZEIOT_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
   if (total_ == 0) return lo_;
+  // q = 0 is the infimum of the recorded mass: the low edge of the first
+  // occupied bin (not lo_, which an empty leading bin would wrongly
+  // report).
+  if (q == 0.0) {
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+      if (counts_[b] > 0) return bin_low(b);
+    }
+    return lo_;  // unreachable: total_ > 0 implies an occupied bin
+  }
   const double target = q * static_cast<double>(total_);
   double cum = 0.0;
   for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;  // empty bins can never hold the target
     const double next = cum + static_cast<double>(counts_[b]);
     if (next >= target) {
-      const double frac =
-          counts_[b] == 0 ? 0.0
-                          : (target - cum) / static_cast<double>(counts_[b]);
+      // Mass inside a bin is assumed uniform, so the quantile interpolates
+      // linearly between the bin edges; q = 1 lands exactly on the high
+      // edge of the last occupied bin.
+      const double frac = (target - cum) / static_cast<double>(counts_[b]);
       return bin_low(b) + frac * (bin_high(b) - bin_low(b));
     }
     cum = next;

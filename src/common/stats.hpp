@@ -47,9 +47,16 @@ class Histogram {
   std::size_t bins() const { return counts_.size(); }
   double bin_low(std::size_t bin) const;
   double bin_high(std::size_t bin) const;
-  /// Linear-interpolated quantile estimate, q in [0,1].
+  /// Linear-interpolated quantile estimate, q in [0,1].  Bucket-boundary
+  /// interpolation: mass inside a bin is treated as uniform, so the
+  /// estimate moves linearly between the bin's low and high edge (a
+  /// single-bin histogram maps q to lo + q * bin_width).  Edge cases:
+  /// an empty histogram returns lo(); q = 0 returns the low edge of the
+  /// first occupied bin; q = 1 returns the high edge of the last occupied
+  /// bin.  Empty bins are skipped, never interpolated into.
   double quantile(double q) const;
   /// Percentile accessor, p in [0,100]: percentile(95) == quantile(0.95).
+  /// Shares quantile()'s edge-case contract (p=0 / p=100 / empty).
   double percentile(double p) const;
   /// Merges another histogram with identical bounds and bin count
   /// (parallel-combinable, like RunningStats::merge).

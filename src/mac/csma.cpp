@@ -112,7 +112,9 @@ CsmaMetrics simulate_csma(const CsmaConfig& cfg, std::size_t slots,
     ++tx_opportunities;
     // The medium is busy for frame_slots regardless of outcome; other
     // stations freeze their counters (standard DCF behaviour).
+    const double round_t0 = static_cast<double>(slot);
     slot += static_cast<std::size_t>(cfg.frame_slots);
+    bool round_success = false;
 
     if (ready.size() == 1) {
       Station& st = stations[ready.front()];
@@ -140,6 +142,7 @@ CsmaMetrics simulate_csma(const CsmaConfig& cfg, std::size_t slots,
         }
         st.backoff = draw_backoff(rng, cfg, st.retries);
       } else {
+        round_success = true;
         ++m.successes;
         ++m.per_station_successes[ready.front()];
         if (obs != nullptr) {
@@ -170,6 +173,16 @@ CsmaMetrics simulate_csma(const CsmaConfig& cfg, std::size_t slots,
         }
         st.backoff = draw_backoff(rng, cfg, st.retries);
       }
+    }
+
+    // One CsmaRound span per contention round (virtual slot axis):
+    // a = contenders, b = 1 on a clean win.  Gated on the span layer so
+    // the default metrics-only path stays span-free.
+    if (obs != nullptr && obs->spans_enabled()) {
+      obs->spans().add(obs::SpanKind::CsmaRound, round_t0,
+                       round_t0 + static_cast<double>(cfg.frame_slots), 0, 0,
+                       static_cast<std::uint32_t>(ready.size()),
+                       round_success ? 1u : 0u, 0.0);
     }
   }
 

@@ -18,7 +18,8 @@ void serialize_layer(const UnitGraph& graph, const Assignment& assignment,
                      std::size_t layer_index, const LatencyModel& lat,
                      std::vector<double>& ready_at,
                      const std::vector<double>& input_arrival,
-                     std::size_t num_nodes) {
+                     std::size_t num_nodes, obs::SpanRecorder* sp,
+                     obs::SpanId root) {
   const UnitLayer& l = graph.layers()[layer_index];
   // Collect this layer's units per node, ordered by arrival time.
   std::vector<std::vector<UnitId>> per_node(num_nodes);
@@ -26,16 +27,31 @@ void serialize_layer(const UnitGraph& graph, const Assignment& assignment,
     const UnitId u = l.first_unit + static_cast<UnitId>(i);
     per_node[assignment.node_of(u)].push_back(u);
   }
-  for (auto& list : per_node) {
+  for (std::size_t n = 0; n < per_node.size(); ++n) {
+    auto& list = per_node[n];
     std::sort(list.begin(), list.end(), [&](UnitId a, UnitId b) {
       return input_arrival[a] < input_arrival[b];
     });
     double node_free = 0.0;
+    double node_start = 0.0;
+    bool first_unit = true;
     for (UnitId u : list) {
       const double start = std::max(node_free, input_arrival[u]);
+      if (first_unit) {
+        node_start = start;
+        first_unit = false;
+      }
       const double done = start + lat.unit_compute_s;
       ready_at[u] = done;
       node_free = done;
+    }
+    if (sp != nullptr && !list.empty()) {
+      // NodeCompute span over the node's serial execution window of this
+      // layer; value = the busy compute time inside that window.
+      sp->add(obs::SpanKind::NodeCompute, node_start, node_free, root,
+              /*trace_id=*/0, static_cast<std::uint32_t>(n),
+              static_cast<std::uint32_t>(layer_index),
+              static_cast<double>(list.size()) * lat.unit_compute_s);
     }
   }
 }
@@ -59,6 +75,21 @@ ExecutionResult execute_distributed(ml::Network& net, const UnitGraph& graph,
                   "sample shape does not match the unit graph input");
   ZEIOT_CHECK_MSG(lat.hop_latency_s >= 0.0 && lat.unit_compute_s >= 0.0,
                   "latency parameters must be >= 0");
+
+  // Wall-time profiling (gauges only, never digests) + optional causal
+  // spans on the virtual latency axis.
+  obs::ScopedTimer prof_timer(
+      obs != nullptr ? &obs->profiler() : nullptr,
+      obs != nullptr ? obs->profiler().region("microdeep.execute_distributed")
+                     : 0);
+  obs::SpanRecorder* const sp =
+      (obs != nullptr && obs->spans_enabled()) ? &obs->spans() : nullptr;
+  const obs::SpanId root_span =
+      sp != nullptr
+          ? sp->open(obs::SpanKind::Inference, 0.0, 0, /*trace_id=*/0,
+                     static_cast<std::uint32_t>(wsn.num_nodes()),
+                     static_cast<std::uint32_t>(graph.layers().size()))
+          : 0;
 
   ActTable acts(graph.num_units());
   std::vector<double> ready_at(graph.num_units(), 0.0);
@@ -156,7 +187,7 @@ ExecutionResult execute_distributed(ml::Network& net, const UnitGraph& graph,
     input_arrival.assign(graph.num_units(), 0.0);
     compute_unit_layer(layer, graph, unit_layer, pl, acts, hooks);
     serialize_layer(graph, assignment, pl, lat, ready_at, input_arrival,
-                    wsn.num_nodes());
+                    wsn.num_nodes(), sp, root_span);
     unit_layer = pl;
   }
 
@@ -172,6 +203,9 @@ ExecutionResult execute_distributed(ml::Network& net, const UnitGraph& graph,
     latency = std::max(latency, ready_at[u]);
   }
   res.inference_latency_s = latency;
+  if (sp != nullptr) {
+    sp->close(root_span, latency, res.total_messages);
+  }
 
   if (obs != nullptr) {
     auto& m = obs->metrics();

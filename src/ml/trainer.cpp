@@ -4,6 +4,7 @@
 #include <iostream>
 #include <limits>
 
+#include "obs/obs.hpp"
 #include "par/parallel.hpp"
 
 namespace zeiot::ml {
@@ -73,11 +74,32 @@ TrainHistory Trainer::fit(const Dataset& train, const Dataset& val,
   const auto grain = static_cast<std::size_t>(cfg.shard_grain);
   const bool shardable = net_.parallel_safe();
 
+  // Observability: virtual-time spans on the epoch axis + wall-time
+  // profiler regions.  Shard spans are recorded on this thread during the
+  // shard-order reduction — never from worker bodies — so the span stream
+  // is identical at any ZEIOT_THREADS.
+  obs::SpanRecorder* const sp =
+      (cfg.obs != nullptr && cfg.obs->spans_enabled()) ? &cfg.obs->spans()
+                                                       : nullptr;
+  obs::ProfilerRegistry* const prof =
+      cfg.obs != nullptr ? &cfg.obs->profiler() : nullptr;
+  const obs::ProfilerRegistry::RegionId fit_region =
+      prof != nullptr ? prof->region("trainer.fit") : 0;
+  const obs::ProfilerRegistry::RegionId epoch_region =
+      prof != nullptr ? prof->region("trainer.epoch") : 0;
+  obs::ScopedTimer fit_timer(prof, fit_region);
+
   TrainHistory hist;
   auto params = net_.params();
   int since_best = 0;
   double best_train_loss = std::numeric_limits<double>::infinity();
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    obs::ScopedTimer epoch_timer(prof, epoch_region);
+    const obs::SpanId epoch_span =
+        sp != nullptr
+            ? sp->open(obs::SpanKind::TrainEpoch, static_cast<double>(epoch),
+                       0, 0, static_cast<std::uint32_t>(epoch), 0)
+            : 0;
     auto order = rng_.permutation(train.size());
     double loss_sum = 0.0;  // sample-weighted: sum of per-sample losses
     std::size_t correct = 0;
@@ -126,12 +148,31 @@ TrainHistory Trainer::fit(const Dataset& train, const Dataset& val,
           rep.backward(lr.grad);
         });
         net_.zero_grads();
+        // The batch occupies [epoch + start/n, epoch + end/n] on the
+        // virtual epoch axis; shard spans tile it evenly.
+        const double bt0 = static_cast<double>(epoch) +
+                           static_cast<double>(start) /
+                               static_cast<double>(order.size());
+        const double bt1 = static_cast<double>(epoch) +
+                           static_cast<double>(end) /
+                               static_cast<double>(order.size());
+        const double shard_w =
+            (bt1 - bt0) / static_cast<double>(shards.size());
+        const auto batch_idx = static_cast<std::uint32_t>(
+            start / static_cast<std::size_t>(cfg.batch_size));
         for (std::size_t s = 0; s < shards.size(); ++s) {
           for (std::size_t p = 0; p < params.size(); ++p) {
             params[p]->grad.add_(replica_params_[s][p]->grad);
           }
           loss_sum += shard_loss[s] * static_cast<double>(shards[s].size());
           correct += shard_correct[s];
+          if (sp != nullptr) {
+            sp->add(obs::SpanKind::TrainShard,
+                    bt0 + static_cast<double>(s) * shard_w,
+                    bt0 + static_cast<double>(s + 1) * shard_w, epoch_span,
+                    0, static_cast<std::uint32_t>(s), batch_idx,
+                    shard_loss[s]);
+          }
         }
       }
       if (grad_hook_) grad_hook_(params);
@@ -143,6 +184,9 @@ TrainHistory Trainer::fit(const Dataset& train, const Dataset& val,
         static_cast<double>(correct) / static_cast<double>(train.size());
     es.val_accuracy = val.empty() ? 0.0 : evaluate(val);
     hist.epochs.push_back(es);
+    if (sp != nullptr) {
+      sp->close(epoch_span, static_cast<double>(epoch + 1), es.train_loss);
+    }
     // Early stopping tracks validation accuracy when a validation set is
     // supplied; with none, it falls back to train-loss improvement (a
     // val_accuracy pinned at 0.0 would otherwise never "improve" and

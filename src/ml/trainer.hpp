@@ -27,6 +27,10 @@ namespace zeiot::par {
 class ThreadPool;
 }
 
+namespace zeiot::obs {
+class Observability;
+}
+
 namespace zeiot::ml {
 
 struct TrainConfig {
@@ -46,6 +50,13 @@ struct TrainConfig {
   /// Worker pool for sharded execution (null = par::global_pool(), which
   /// honours ZEIOT_THREADS).
   par::ThreadPool* pool = nullptr;
+  /// Null-sink observability.  With spans enabled, fit() records one
+  /// TrainEpoch span per epoch on the virtual epoch axis (t = epoch index,
+  /// value = epoch train loss) with TrainShard children for the
+  /// data-parallel shards (recorded on the calling thread during the
+  /// shard-order reduction, so the stream is thread-count independent).
+  /// The profiler gains trainer.fit / trainer.epoch wall-time regions.
+  obs::Observability* obs = nullptr;
 };
 
 struct EpochStats {

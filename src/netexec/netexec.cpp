@@ -22,6 +22,74 @@ ChannelConfig ChannelConfig::ideal() {
   return c;
 }
 
+namespace {
+
+/// Half-open activity interval on the virtual time axis.
+struct Ival {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Partitions [0, horizon] into the four latency phases by a sweep over
+/// the recorded activity intervals.  Overlaps resolve by priority
+/// compute > airtime > retry (a tick where any MCU computes counts as
+/// compute even if a radio is also on air); uncovered time is idle.  The
+/// four sums telescope over the same segment boundaries, so they add up
+/// to `horizon` to within floating-point association error.
+PhaseBreakdown attribute_phases(const std::vector<Ival>& compute,
+                                const std::vector<Ival>& airtime,
+                                const std::vector<Ival>& retry,
+                                double horizon) {
+  PhaseBreakdown out;
+  if (horizon <= 0.0) return out;
+  struct Edge {
+    double t;
+    int cat;    // 0 compute, 1 airtime, 2 retry
+    int delta;  // +1 open, -1 close
+  };
+  std::vector<Edge> edges;
+  edges.reserve(2 * (compute.size() + airtime.size() + retry.size()));
+  auto push = [&](const std::vector<Ival>& ivals, int cat) {
+    for (const Ival& iv : ivals) {
+      const double lo = std::max(0.0, iv.lo);
+      const double hi = std::min(horizon, iv.hi);
+      if (hi <= lo) continue;  // empty or entirely past the horizon
+      edges.push_back(Edge{lo, cat, +1});
+      edges.push_back(Edge{hi, cat, -1});
+    }
+  };
+  push(compute, 0);
+  push(airtime, 1);
+  push(retry, 2);
+  std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
+    if (x.t != y.t) return x.t < y.t;
+    return x.delta < y.delta;  // closes before opens at equal times
+  });
+  int active[3] = {0, 0, 0};
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  double prev = 0.0;
+  auto flush = [&](double t) {
+    if (t <= prev) return;
+    const int cat = active[0] > 0 ? 0 : active[1] > 0 ? 1
+                                    : active[2] > 0   ? 2
+                                                      : 3;
+    acc[cat] += t - prev;
+    prev = t;
+  };
+  for (const Edge& e : edges) {
+    flush(e.t);
+    active[e.cat] += e.delta;
+  }
+  flush(horizon);
+  out.compute_s = acc[0];
+  out.airtime_s = acc[1];
+  out.retry_s = acc[2];
+  out.idle_s = acc[3];
+  return out;
+}
+
+}  // namespace
+
 NetworkExecutor::NetworkExecutor(ml::Network& net,
                                  const microdeep::UnitGraph& graph,
                                  const microdeep::Assignment& assignment,
@@ -120,9 +188,27 @@ void NetworkExecutor::build_plans() {
   ZEIOT_CHECK_MSG(!plans_.empty(), "network produces no unit layers");
 }
 
+std::size_t NetworkExecutor::spans_per_run_bound() const {
+  // Root + 4 phase children + per-node sense markers + per-(plan, node)
+  // compute spans and deadline markers + per hop traversal at most
+  // (1 + max_retries) tx attempts, each possibly followed by a backoff
+  // span.  Radio-busy deferrals record nothing.
+  std::size_t hop_traversals = 0;
+  for (const LayerPlan& p : plans_) {
+    for (const Message& m : p.messages) {
+      hop_traversals += static_cast<std::size_t>(m.hops);
+    }
+  }
+  const std::size_t attempts = static_cast<std::size_t>(cfg_.max_retries) + 1;
+  const std::size_t n_nodes = wsn_.num_nodes();
+  return 1 + 4 + n_nodes + 2 * plans_.size() * n_nodes +
+         2 * hop_traversals * attempts;
+}
+
 NetInferenceResult NetworkExecutor::run_impl(
     const ml::Tensor& sample, std::uint64_t seed, obs::Observability* obs,
-    fault::FaultInjector* fault, microdeep::ActTable* memory) const {
+    fault::FaultInjector* fault, microdeep::ActTable* memory,
+    obs::SpanRecorder* spans, std::uint64_t trace_id) const {
   const auto& layers = graph_.layers();
   const microdeep::UnitLayer& input = layers.front();
   ZEIOT_CHECK_MSG(sample.ndim() == 3 && sample.dim(0) == input.channels &&
@@ -153,6 +239,31 @@ NetInferenceResult NetworkExecutor::run_impl(
   std::vector<double> radio_free(n_nodes, 0.0);
   std::vector<double> cpu_free(n_nodes, 0.0);
   std::vector<energy::EnergyLedger> ledger(n_nodes);
+
+  // Causal span tree (opt-in).  The root Inference span opens at t = 0 and
+  // closes at the final latency; activity spans attach energy-ledger
+  // deltas as their value.  Hop/backoff spans parent to the span that
+  // *produced* the activations they carry (a Sense span for plan 0, the
+  // plan k-1 NodeCompute span otherwise), making the tree causal rather
+  // than purely temporal.
+  obs::SpanRecorder* const sp =
+      (spans != nullptr && spans->enabled()) ? spans : nullptr;
+  const obs::SpanId root =
+      sp != nullptr ? sp->open(obs::SpanKind::Inference, 0.0, 0, trace_id,
+                               static_cast<std::uint32_t>(n_nodes),
+                               static_cast<std::uint32_t>(n_plans))
+                    : 0;
+  std::vector<obs::SpanId> sense_span(sp != nullptr ? n_nodes : 0, 0);
+  std::vector<std::vector<obs::SpanId>> compute_span;
+  if (sp != nullptr) {
+    compute_span.assign(n_plans, std::vector<obs::SpanId>(n_nodes, 0));
+  }
+  // Latency-attribution intervals are collected unconditionally (one
+  // push_back per activity); the sweep after sim.run() turns them into
+  // res.breakdown, span recording or not.
+  std::vector<Ival> compute_ivals;
+  std::vector<Ival> air_ivals;
+  std::vector<Ival> retry_ivals;
 
   // Per-plan dynamic state.  stage: 0 = waiting, 1 = compute scheduled,
   // 2 = done (computed, or skipped because the node was dead).
@@ -252,6 +363,13 @@ NetInferenceResult NetworkExecutor::run_impl(
 
       ledger[n].record("compute", cfg_.costs.compute_watt * dur);
       const double finish = start + dur;
+      compute_ivals.push_back(Ival{start, finish});
+      if (sp != nullptr) {
+        compute_span[k][n] = sp->add(
+            obs::SpanKind::NodeCompute, start, finish, root, trace_id,
+            static_cast<std::uint32_t>(n), static_cast<std::uint32_t>(k),
+            cfg_.costs.compute_watt * dur);
+      }
       sim.schedule_at(finish, [&, k, n, finish]() {
         auto& sf = st[k];
         sf.stage[n] = 2;
@@ -271,6 +389,15 @@ NetInferenceResult NetworkExecutor::run_impl(
                           m.dst_node, static_cast<double>(m.hops));
     }
     attempt_hop(k, mi, m.src_node, 0, 0);
+  };
+
+  // Span parent of every frame of plan k: the span that produced its
+  // activations.  Falls back to the root when the producer recorded no
+  // span (dead node, deadline-skipped compute).
+  auto frame_parent = [&](std::size_t k, const Message& m) -> obs::SpanId {
+    const obs::SpanId p =
+        k == 0 ? sense_span[m.src_node] : compute_span[k - 1][m.src_node];
+    return p != 0 ? p : root;
   };
 
   attempt_hop = [&](std::size_t k, std::size_t mi, NodeId cur, int hop,
@@ -295,8 +422,16 @@ NetInferenceResult NetworkExecutor::run_impl(
     if (attempt > 0) ++res.retransmissions;
     ledger[cur].record("tx", cfg_.costs.backscatter_tx_watt * air);
     ledger[nxt].record("rx", cfg_.costs.rx_watt * air);
+    air_ivals.push_back(Ival{now, now + air});
     if (obs != nullptr) {
       obs->trace().record(now, obs::TraceType::PacketTx, cur, nxt, air);
+    }
+    if (sp != nullptr) {
+      sp->add(
+          attempt == 0 ? obs::SpanKind::HopTx : obs::SpanKind::HopRetryTx,
+          now, now + air, frame_parent(k, m), trace_id,
+          static_cast<std::uint32_t>(cur), static_cast<std::uint32_t>(nxt),
+          cfg_.costs.backscatter_tx_watt * air);
     }
 
     // Loss: keyed per-(frame, hop, attempt) channel draw — a pure function
@@ -327,6 +462,12 @@ NetInferenceResult NetworkExecutor::run_impl(
       }
       const double wait =
           cfg_.ack_timeout_s * std::pow(cfg_.backoff_factor, attempt);
+      retry_ivals.push_back(Ival{now + air, now + air + wait});
+      if (sp != nullptr) {
+        sp->add(obs::SpanKind::Backoff, now + air, now + air + wait,
+                frame_parent(k, m), trace_id, static_cast<std::uint32_t>(cur),
+                static_cast<std::uint32_t>(attempt + 1), 0.0);
+      }
       sim.schedule_at(now + air + wait, [&, k, mi, cur, hop, attempt]() {
         attempt_hop(k, mi, cur, hop, attempt + 1);
       });
@@ -373,6 +514,14 @@ NetInferenceResult NetworkExecutor::run_impl(
         if (assignment_.node_of(u) == n) unit_valid[u] = 1;
       }
       ledger[n].record("sense", cfg_.costs.sense_watt * cfg_.sense_s);
+      if (sp != nullptr) {
+        // Zero-duration marker: sensing costs energy over sense_s but does
+        // not delay the inference (inputs are ready at t = 0).
+        sense_span[n] =
+            sp->add(obs::SpanKind::Sense, 0.0, 0.0, root, trace_id,
+                    static_cast<std::uint32_t>(n), 0,
+                    cfg_.costs.sense_watt * cfg_.sense_s);
+      }
       layer_done(0, n);
     }
   });
@@ -380,13 +529,19 @@ NetInferenceResult NetworkExecutor::run_impl(
   // Termination guarantee: plan k's consumers stop waiting at absolute
   // time (k+1) * layer_deadline_s no matter what was lost.
   for (std::size_t k = 0; k < n_plans; ++k) {
-    sim.schedule_at(static_cast<double>(k + 1) * cfg_.layer_deadline_s,
-                    [&, k]() {
-                      for (NodeId n = 0; n < n_nodes; ++n) {
-                        if (st[k].stage[n] == 0 && !plans_[k].units[n].empty())
-                          schedule_compute(k, n);
-                      }
-                    });
+    const double fire_t = static_cast<double>(k + 1) * cfg_.layer_deadline_s;
+    sim.schedule_at(fire_t, [&, k, fire_t]() {
+      for (NodeId n = 0; n < n_nodes; ++n) {
+        if (st[k].stage[n] == 0 && !plans_[k].units[n].empty()) {
+          if (sp != nullptr) {
+            sp->add(obs::SpanKind::DeadlineFire, fire_t, fire_t, root,
+                    trace_id, static_cast<std::uint32_t>(n),
+                    static_cast<std::uint32_t>(k), 0.0);
+          }
+          schedule_compute(k, n);
+        }
+      }
+    });
   }
 
   sim.run();
@@ -414,6 +569,8 @@ NetInferenceResult NetworkExecutor::run_impl(
                       ? st.back().finish_s
                       : static_cast<double>(n_plans) * cfg_.layer_deadline_s;
   res.degraded = res.substitutions > 0;
+  res.breakdown =
+      attribute_phases(compute_ivals, air_ivals, retry_ivals, res.latency_s);
 
   for (NodeId n = 0; n < n_nodes; ++n) {
     res.tx_energy_j += ledger[n].of("tx");
@@ -421,6 +578,25 @@ NetInferenceResult NetworkExecutor::run_impl(
     res.compute_energy_j += ledger[n].of("compute");
     res.sense_energy_j += ledger[n].of("sense");
     res.energy_j += ledger[n].total_joule();
+  }
+
+  if (sp != nullptr) {
+    // Four phase children tile [0, latency] in a fixed stacking order, so
+    // their durations (the breakdown components) sum to the root duration
+    // by construction — the invariant tools/obs_report.py checks.
+    const struct {
+      obs::SpanKind kind;
+      double dur;
+    } phases[4] = {{obs::SpanKind::PhaseCompute, res.breakdown.compute_s},
+                   {obs::SpanKind::PhaseAirtime, res.breakdown.airtime_s},
+                   {obs::SpanKind::PhaseRetry, res.breakdown.retry_s},
+                   {obs::SpanKind::PhaseIdle, res.breakdown.idle_s}};
+    double t = 0.0;
+    for (const auto& ph : phases) {
+      sp->add(ph.kind, t, t + ph.dur, root, trace_id, 0, 0, ph.dur);
+      t += ph.dur;
+    }
+    sp->close(root, res.latency_s, res.energy_j);
   }
 
   if (memory != nullptr) {
@@ -451,7 +627,13 @@ NetInferenceResult NetworkExecutor::run_impl(
 NetInferenceResult NetworkExecutor::run(const ml::Tensor& sample) {
   Rng base(cfg_.seed);
   const std::uint64_t run_seed = par::substream(base, runs_++)();
-  return run_impl(sample, run_seed, cfg_.obs, cfg_.fault, &memory_);
+  obs::SpanRecorder* spans =
+      (cfg_.obs != nullptr && cfg_.obs->spans_enabled()) ? &cfg_.obs->spans()
+                                                         : nullptr;
+  // The loss-substream seed doubles as the trace id: seed-derived, stable
+  // across reruns, unique per run() call.
+  return run_impl(sample, run_seed, cfg_.obs, cfg_.fault, &memory_, spans,
+                  run_seed);
 }
 
 NetEvalResult NetworkExecutor::evaluate(const ml::Dataset& data,
@@ -468,19 +650,38 @@ NetEvalResult NetworkExecutor::evaluate(const ml::Dataset& data,
   // below runs on the calling thread in index order, so the result is
   // bit-identical for any worker count.
   std::vector<NetInferenceResult> slots(n);
+  const bool spanning = cfg_.obs != nullptr && cfg_.obs->spans_enabled();
+  std::vector<obs::SpanRecorder> span_slots;
+  if (spanning) {
+    // One private recorder per sample, sized so nothing is ever dropped;
+    // merged below in index order (the parallel_sweep pattern), so the
+    // merged stream is bit-identical at any ZEIOT_THREADS.
+    const std::size_t cap = spans_per_run_bound();
+    span_slots.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) span_slots.emplace_back(cap);
+  }
   const Rng base(cfg_.seed);
   par::parallel_for(
       n,
       [&](std::size_t i) {
         Rng child = par::substream(base, i);
-        slots[i] = run_impl(data.x(i), child(), nullptr, nullptr, nullptr);
+        const std::uint64_t s = child();
+        slots[i] = run_impl(data.x(i), s, nullptr, nullptr, nullptr,
+                            spanning ? &span_slots[i] : nullptr, s);
       },
       pool);
+  if (spanning) {
+    for (const obs::SpanRecorder& r : span_slots) cfg_.obs->spans().merge(r);
+  }
 
   NetEvalResult ev;
   ev.samples = n;
-  std::vector<double> lat;
+  std::vector<double> lat, ph_compute, ph_air, ph_retry, ph_idle;
   lat.reserve(n);
+  ph_compute.reserve(n);
+  ph_air.reserve(n);
+  ph_retry.reserve(n);
+  ph_idle.reserve(n);
   std::size_t correct = 0, degraded = 0;
   double energy = 0.0, retrans = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -488,24 +689,32 @@ NetEvalResult NetworkExecutor::evaluate(const ml::Dataset& data,
     if (static_cast<int>(r.output.argmax()) == data.label(i)) ++correct;
     if (r.degraded) ++degraded;
     lat.push_back(r.latency_s);
+    ph_compute.push_back(r.breakdown.compute_s);
+    ph_air.push_back(r.breakdown.airtime_s);
+    ph_retry.push_back(r.breakdown.retry_s);
+    ph_idle.push_back(r.breakdown.idle_s);
     energy += r.energy_j;
     retrans += static_cast<double>(r.retransmissions);
     ev.messages += r.messages;
     ev.frames_lost += r.frames_lost;
   }
-  std::sort(lat.begin(), lat.end());
-  auto pct = [&](double q) {
+  auto pct = [n](std::vector<double> v, double q) {
+    std::sort(v.begin(), v.end());
     const auto idx = static_cast<std::size_t>(
         std::llround(q * static_cast<double>(n - 1)));
-    return lat[std::min(idx, n - 1)];
+    return v[std::min(idx, n - 1)];
   };
   ev.accuracy = static_cast<double>(correct) / static_cast<double>(n);
-  ev.p50_latency_s = pct(0.50);
-  ev.p99_latency_s = pct(0.99);
+  ev.p50_latency_s = pct(lat, 0.50);
+  ev.p99_latency_s = pct(lat, 0.99);
   ev.mean_energy_j = energy / static_cast<double>(n);
   ev.degraded_fraction =
       static_cast<double>(degraded) / static_cast<double>(n);
   ev.mean_retransmissions = retrans / static_cast<double>(n);
+  ev.p50_breakdown = PhaseBreakdown{pct(ph_compute, 0.50), pct(ph_air, 0.50),
+                                    pct(ph_retry, 0.50), pct(ph_idle, 0.50)};
+  ev.p99_breakdown = PhaseBreakdown{pct(ph_compute, 0.99), pct(ph_air, 0.99),
+                                    pct(ph_retry, 0.99), pct(ph_idle, 0.99)};
 
   if (cfg_.obs != nullptr) {
     auto& m = cfg_.obs->metrics();
@@ -514,6 +723,32 @@ NetEvalResult NetworkExecutor::evaluate(const ml::Dataset& data,
     m.gauge("netexec.p99_latency_s").set(ev.p99_latency_s);
     m.gauge("netexec.energy_per_inference_j").set(ev.mean_energy_j);
     m.gauge("netexec.degraded_fraction").set(ev.degraded_fraction);
+    m.gauge("netexec.breakdown.compute_p50_s").set(ev.p50_breakdown.compute_s);
+    m.gauge("netexec.breakdown.compute_p99_s").set(ev.p99_breakdown.compute_s);
+    m.gauge("netexec.breakdown.airtime_p50_s").set(ev.p50_breakdown.airtime_s);
+    m.gauge("netexec.breakdown.airtime_p99_s").set(ev.p99_breakdown.airtime_s);
+    m.gauge("netexec.breakdown.retry_p50_s").set(ev.p50_breakdown.retry_s);
+    m.gauge("netexec.breakdown.retry_p99_s").set(ev.p99_breakdown.retry_s);
+    m.gauge("netexec.breakdown.idle_p50_s").set(ev.p50_breakdown.idle_s);
+    m.gauge("netexec.breakdown.idle_p99_s").set(ev.p99_breakdown.idle_s);
+    // Per-phase latency histograms over the sample population — the
+    // root-span-derived distribution behind the p50/p99 gauges.  Bounds
+    // cover the termination guarantee (latency <= n_plans * deadline).
+    const double hist_hi =
+        static_cast<double>(plans_.size()) * cfg_.layer_deadline_s;
+    const struct {
+      const char* phase;
+      const std::vector<double>* samples;
+    } phase_rows[5] = {{"total", &lat},
+                       {"compute", &ph_compute},
+                       {"airtime", &ph_air},
+                       {"retry", &ph_retry},
+                       {"idle", &ph_idle}};
+    for (const auto& row : phase_rows) {
+      auto& h = m.histogram("netexec.latency_breakdown_s", 0.0, hist_hi, 64,
+                            {{"phase", row.phase}});
+      for (const double x : *row.samples) h.observe(x);
+    }
     m.counter("netexec.eval.messages").inc(static_cast<double>(ev.messages));
     m.counter("netexec.eval.frames_lost")
         .inc(static_cast<double>(ev.frames_lost));

@@ -93,6 +93,21 @@ struct NetExecConfig {
   double fault_time_offset = 0.0;
 };
 
+/// Latency attribution of one inference: a disjoint partition of the root
+/// interval [0, latency_s] by activity, computed from the recorded
+/// compute/airtime/backoff intervals with a priority sweep (overlaps
+/// resolved compute > airtime > retry; uncovered time is idle).  The four
+/// components always sum to latency_s up to floating-point association —
+/// well under one virtual tick (1 us).
+struct PhaseBreakdown {
+  double compute_s = 0.0;  // >= 1 MCU busy computing units
+  double airtime_s = 0.0;  // >= 1 radio transmitting (and not compute)
+  double retry_s = 0.0;    // ARQ backoff wait only (no compute / airtime)
+  double idle_s = 0.0;     // uncovered: queueing, turnaround, deadline slack
+
+  double total_s() const { return compute_s + airtime_s + retry_s + idle_s; }
+};
+
 /// Outcome of one network-in-the-loop inference.
 struct NetInferenceResult {
   ml::Tensor output;            // logits, shape (1, K)
@@ -109,6 +124,8 @@ struct NetInferenceResult {
   double rx_energy_j = 0.0;
   double compute_energy_j = 0.0;
   double sense_energy_j = 0.0;
+  /// Where the latency went (always computed; spans are optional).
+  PhaseBreakdown breakdown{};
 };
 
 /// Dataset-level aggregate of evaluate().
@@ -122,6 +139,11 @@ struct NetEvalResult {
   std::uint64_t messages = 0;
   std::uint64_t frames_lost = 0;
   std::size_t samples = 0;
+  /// Per-phase latency percentiles over the sample population (each phase's
+  /// per-inference duration sorted independently, same p50/p99 convention
+  /// as the latency percentiles above).
+  PhaseBreakdown p50_breakdown{};
+  PhaseBreakdown p99_breakdown{};
 };
 
 class NetworkExecutor {
@@ -142,8 +164,14 @@ class NetworkExecutor {
   /// independent simulation per sample (seed split per index, no shared
   /// memory), chunked over `pool` — bit-identical for any ZEIOT_THREADS.
   /// Emits netexec.accuracy / netexec.p50_latency_s / netexec.p99_latency_s
-  /// / netexec.energy_per_inference_j / netexec.degraded_fraction gauges
-  /// (plus message counters) into cfg.obs.  Requires cfg.fault == nullptr.
+  /// / netexec.energy_per_inference_j / netexec.degraded_fraction and
+  /// netexec.breakdown.{compute,airtime,retry,idle}_{p50,p99}_s gauges
+  /// (plus message counters and per-phase latency histograms) into cfg.obs.
+  /// When cfg.obs has spans enabled, each sample records its causal span
+  /// tree into a private per-slot recorder; the slots are merged into
+  /// cfg.obs->spans() in index order, so the merged stream (and its
+  /// digest) is bit-identical at any ZEIOT_THREADS — one root Inference
+  /// span per sample.  Requires cfg.fault == nullptr.
   NetEvalResult evaluate(const ml::Dataset& data,
                          par::ThreadPool* pool = nullptr,
                          std::size_t max_samples = 0);
@@ -180,10 +208,19 @@ class NetworkExecutor {
   };
 
   void build_plans();
+  /// `spans` (nullable) receives the causal span tree of this inference
+  /// under a root Inference span with the given `trace_id` (by convention
+  /// the inference's loss-substream seed, making trace ids seed-derived
+  /// and stable across reruns and thread counts).
   NetInferenceResult run_impl(const ml::Tensor& sample, std::uint64_t seed,
                               obs::Observability* obs,
                               fault::FaultInjector* fault,
-                              microdeep::ActTable* memory) const;
+                              microdeep::ActTable* memory,
+                              obs::SpanRecorder* spans = nullptr,
+                              std::uint64_t trace_id = 0) const;
+  /// Upper bound on spans one run_impl can record (used to size per-slot
+  /// recorders in evaluate() so nothing is dropped).
+  std::size_t spans_per_run_bound() const;
 
   ml::Network& net_;
   const microdeep::UnitGraph& graph_;

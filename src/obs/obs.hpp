@@ -12,23 +12,42 @@
 
 #include "common/stats.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace zeiot::obs {
 
 class Observability {
  public:
-  explicit Observability(std::size_t trace_capacity = 4096)
-      : trace_(trace_capacity) {}
+  /// Span recording is opt-in (`span_capacity` 0 keeps the span layer a
+  /// null sink); metrics, tracing and the profiler are always live.
+  explicit Observability(std::size_t trace_capacity = 4096,
+                         std::size_t span_capacity = 0)
+      : trace_(trace_capacity), spans_(span_capacity) {}
 
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
   TraceRecorder& trace() { return trace_; }
   const TraceRecorder& trace() const { return trace_; }
+  SpanRecorder& spans() { return spans_; }
+  const SpanRecorder& spans() const { return spans_; }
+  ProfilerRegistry& profiler() { return profiler_; }
+  const ProfilerRegistry& profiler() const { return profiler_; }
+
+  /// True when span emit sites should record.  The canonical guard is
+  /// `obs != nullptr && obs->spans_enabled()`.
+  bool spans_enabled() const { return spans_.enabled(); }
+
+  /// Replaces the (empty, disabled) span recorder with an enabled one of
+  /// the given capacity.  Call before instrumented code runs.
+  void enable_spans(std::size_t capacity) { spans_ = SpanRecorder(capacity); }
 
  private:
   MetricsRegistry metrics_;
   TraceRecorder trace_;
+  SpanRecorder spans_;
+  ProfilerRegistry profiler_;
 };
 
 /// RAII wall-clock timer feeding a RunningStats (or nothing when given

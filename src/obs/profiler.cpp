@@ -1,0 +1,80 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/error.hpp"
+
+namespace zeiot::obs {
+
+ProfilerRegistry::RegionId ProfilerRegistry::region(const std::string& name) {
+  ZEIOT_CHECK_MSG(!name.empty(), "profiler region needs a name");
+  for (RegionId id = 0; id < regions_.size(); ++id) {
+    if (regions_[id].name == name) return id;
+  }
+  regions_.push_back(Region{name, 0.0, 0.0, 0});
+  return regions_.size() - 1;
+}
+
+const ProfilerRegistry::Region& ProfilerRegistry::at(RegionId id) const {
+  ZEIOT_CHECK_MSG(id < regions_.size(), "unknown profiler region " << id);
+  return regions_[id];
+}
+
+void ProfilerRegistry::enter(RegionId id) {
+  ZEIOT_CHECK_MSG(id < regions_.size(), "unknown profiler region " << id);
+  stack_.push_back(Frame{id, 0.0});
+}
+
+void ProfilerRegistry::leave(double elapsed_s) {
+  ZEIOT_CHECK_MSG(!stack_.empty(), "profiler leave without enter");
+  const Frame f = stack_.back();
+  stack_.pop_back();
+  Region& r = regions_[f.id];
+  r.total_s += elapsed_s;
+  r.self_s += std::max(0.0, elapsed_s - f.child_s);
+  ++r.count;
+  if (!stack_.empty()) stack_.back().child_s += elapsed_s;
+}
+
+void ProfilerRegistry::report(MetricsRegistry& metrics) const {
+  for (const Region& r : regions_) {
+    if (r.count == 0) continue;
+    metrics.gauge("prof." + r.name + ".total_s").set(r.total_s);
+    metrics.gauge("prof." + r.name + ".self_s").set(r.self_s);
+    metrics.gauge("prof." + r.name + ".count")
+        .set(static_cast<double>(r.count));
+  }
+}
+
+void ProfilerRegistry::render(std::ostream& out) const {
+  std::vector<std::size_t> order(regions_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    if (regions_[x].self_s != regions_[y].self_s) {
+      return regions_[x].self_s > regions_[y].self_s;
+    }
+    return regions_[x].name < regions_[y].name;
+  });
+  out << "region                          self_s     total_s    count\n";
+  for (const std::size_t i : order) {
+    const Region& r = regions_[i];
+    if (r.count == 0) continue;
+    out << std::left << std::setw(30) << r.name << std::right << ' '
+        << std::setw(10) << std::setprecision(4) << std::fixed << r.self_s
+        << ' ' << std::setw(11) << r.total_s << ' ' << std::setw(8) << r.count
+        << '\n';
+  }
+  out.unsetf(std::ios::fixed);
+}
+
+void ProfilerRegistry::reset() {
+  for (Region& r : regions_) {
+    r.total_s = 0.0;
+    r.self_s = 0.0;
+    r.count = 0;
+  }
+  stack_.clear();
+}
+
+}  // namespace zeiot::obs

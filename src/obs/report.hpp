@@ -3,17 +3,26 @@
 // Every binary in bench/ emits, next to its stdout tables, a
 // `<bench>.metrics.json` file so the perf trajectory can track the
 // paper-relevant quantities (Fig. 8-style max comm cost, MAC collision
-// rates, energy budgets) across PRs without scraping text.  Schema:
+// rates, energy budgets) across PRs without scraping text.  Schema
+// (`zeiot.obs.v2`; v1 lacked the "spans" block and the
+// obs.trace.dropped_events counter — tools/obs_report.py documents the
+// migration):
 //
 //   {
-//     "schema": "zeiot.obs.v1",
+//     "schema": "zeiot.obs.v2",
 //     "bench": "<name>",
 //     "metrics": { "counters": {...}, "gauges": {...},
 //                  "histograms": {...}, "summaries": {...} },
-//     "trace": { "recorded": N, "retained": M }        // when traced
+//     "trace": { "recorded": N, "retained": M, "dropped": D },  // if traced
+//     "spans": { "recorded": N, "dropped": D, "roots": R }      // if spanned
 //   }
+//
+// When spans were recorded the report can be accompanied by
+// `<bench>.spans.jsonl` (one span per line) and `<bench>.trace.json`
+// (Chrome trace_event format) via the write_*_file helpers.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -33,19 +42,37 @@ class Report {
 
   /// Serializes the full report document to `out`.
   void write(std::ostream& out, const MetricsRegistry& metrics,
-             const TraceRecorder* trace = nullptr) const;
+             const TraceRecorder* trace = nullptr,
+             const SpanRecorder* spans = nullptr) const;
 
   /// Writes `path()`; returns the path written, or nullopt (with a note on
   /// stderr) if the file could not be opened.  Benches call this last so a
   /// read-only working directory never fails the run itself.
   std::optional<std::string> write_file(const MetricsRegistry& metrics,
-                                        const TraceRecorder* trace = nullptr)
+                                        const TraceRecorder* trace = nullptr,
+                                        const SpanRecorder* spans = nullptr)
       const;
   std::optional<std::string> write_file(const Observability& obs) const {
-    return write_file(obs.metrics(), &obs.trace());
+    return write_file(obs.metrics(), &obs.trace(),
+                      obs.spans().enabled() ? &obs.spans() : nullptr);
   }
 
+  /// Writes `<bench>.spans.jsonl` next to the metrics report (same
+  /// ZEIOT_METRICS_DIR override).  No-op returning nullopt when the
+  /// recorder is disabled or empty.
+  std::optional<std::string> write_spans_file(const SpanRecorder& spans) const;
+
+  /// Writes `<bench>.trace.json` (Chrome trace_event JSON) next to the
+  /// metrics report.  No-op returning nullopt when disabled or empty.
+  std::optional<std::string> write_chrome_trace_file(
+      const SpanRecorder& spans) const;
+
  private:
+  std::string sibling_path(const std::string& suffix) const;
+  std::optional<std::string> write_sibling(
+      const std::string& suffix,
+      const std::function<void(std::ostream&)>& body) const;
+
   std::string name_;
 };
 

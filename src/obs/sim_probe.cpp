@@ -29,6 +29,24 @@ void SimulatorProbe::on_executed(sim::Time t, std::uint64_t id,
   wall_.observe(wall_s);
   obs_.trace().record(t, TraceType::EventFired,
                       static_cast<std::uint32_t>(id));
+  if (obs_.spans_enabled()) {
+    if (step_open_ && t == step_t_) {
+      ++step_events_;
+    } else {
+      flush_steps(t);
+      step_t_ = t;
+      step_events_ = 1;
+      step_open_ = true;
+    }
+  }
+}
+
+void SimulatorProbe::flush_steps(double t_end) {
+  if (!step_open_ || !obs_.spans_enabled()) return;
+  obs_.spans().add(SpanKind::SimStep, step_t_, std::max(t_end, step_t_),
+                   /*parent=*/0, /*trace_id=*/0, step_events_, 0, 0.0);
+  step_open_ = false;
+  step_events_ = 0;
 }
 
 }  // namespace zeiot::obs

@@ -14,6 +14,11 @@
 // Emitted trace events: EventScheduled / EventFired / EventCancelled with
 // a = low 32 bits of the event sequence id.  Wall time is deliberately
 // *not* traced so that two same-seed runs produce identical traces.
+//
+// When the Observability context has spans enabled, the probe also emits
+// one SimStep span per distinct virtual timestamp: all events executed at
+// time t collapse into a span [t, t_next) with a = the number of events in
+// the step.  Call flush_steps() after sim.run() to close the final step.
 #pragma once
 
 #include "obs/obs.hpp"
@@ -30,6 +35,10 @@ class SimulatorProbe final : public sim::SimObserver {
   void on_executed(sim::Time t, std::uint64_t id, std::size_t queue_depth,
                    double wall_s) override;
 
+  /// Closes the trailing SimStep span at `t_end` (>= the last executed
+  /// timestamp).  No-op when spans are disabled or nothing executed.
+  void flush_steps(double t_end);
+
  private:
   Observability& obs_;
   // Handles resolved once so the per-event path is increment-only.
@@ -38,6 +47,10 @@ class SimulatorProbe final : public sim::SimObserver {
   Counter& cancelled_;
   Gauge& queue_depth_;
   Summary& wall_;
+  // SimStep batching state (only advanced when spans are enabled).
+  double step_t_ = 0.0;
+  std::uint32_t step_events_ = 0;
+  bool step_open_ = false;
 };
 
 }  // namespace zeiot::obs

@@ -1,0 +1,220 @@
+#include "obs/span.hpp"
+
+#include <iomanip>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace zeiot::obs {
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::Inference: return "inference";
+    case SpanKind::Sense: return "sense";
+    case SpanKind::NodeCompute: return "node_compute";
+    case SpanKind::HopTx: return "hop_tx";
+    case SpanKind::HopRetryTx: return "hop_retry_tx";
+    case SpanKind::Backoff: return "backoff";
+    case SpanKind::DeadlineFire: return "deadline_fire";
+    case SpanKind::PhaseCompute: return "phase_compute";
+    case SpanKind::PhaseAirtime: return "phase_airtime";
+    case SpanKind::PhaseRetry: return "phase_retry";
+    case SpanKind::PhaseIdle: return "phase_idle";
+    case SpanKind::SimStep: return "sim_step";
+    case SpanKind::CsmaRound: return "csma_round";
+    case SpanKind::TrainEpoch: return "train_epoch";
+    case SpanKind::TrainShard: return "train_shard";
+    case SpanKind::Region: return "region";
+  }
+  return "unknown";
+}
+
+SpanRecorder::SpanRecorder(std::size_t capacity) : capacity_(capacity) {}
+
+SpanId SpanRecorder::open(SpanKind kind, double t, SpanId parent,
+                          std::uint64_t trace_id, std::uint32_t a,
+                          std::uint32_t b) {
+  if (capacity_ == 0) return 0;
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return 0;
+  }
+  SpanEvent s;
+  s.trace_id = trace_id;
+  s.id = static_cast<SpanId>(spans_.size() + 1);
+  s.parent = parent;
+  s.kind = kind;
+  s.t0 = t;
+  s.t1 = t;
+  s.a = a;
+  s.b = b;
+  spans_.push_back(s);
+  return s.id;
+}
+
+void SpanRecorder::close(SpanId id, double t, double value) {
+  if (id == 0) return;  // dropped or disabled open(): silently ignore
+  ZEIOT_CHECK_MSG(id <= spans_.size(), "close of unknown span id " << id);
+  SpanEvent& s = spans_[id - 1];
+  ZEIOT_CHECK_MSG(t >= s.t0, "span " << id << " closed before it opened");
+  s.t1 = t;
+  s.value = value;
+}
+
+SpanId SpanRecorder::add(SpanKind kind, double t0, double t1, SpanId parent,
+                         std::uint64_t trace_id, std::uint32_t a,
+                         std::uint32_t b, double value) {
+  const SpanId id = open(kind, t0, parent, trace_id, a, b);
+  close(id, t1, value);
+  return id;
+}
+
+std::size_t SpanRecorder::root_count() const {
+  std::size_t n = 0;
+  for (const SpanEvent& s : spans_) {
+    if (s.parent == 0) ++n;
+  }
+  return n;
+}
+
+const SpanEvent& SpanRecorder::at(std::size_t i) const {
+  ZEIOT_CHECK_MSG(i < spans_.size(), "span index " << i << " out of range");
+  return spans_[i];
+}
+
+void SpanRecorder::clear() {
+  spans_.clear();
+  dropped_ = 0;
+}
+
+void SpanRecorder::merge(const SpanRecorder& other) {
+  if (capacity_ == 0) return;  // disabled recorders stay empty
+  const auto base = static_cast<SpanId>(spans_.size());
+  spans_.reserve(spans_.size() + other.spans_.size());
+  for (SpanEvent s : other.spans_) {
+    s.id += base;
+    if (s.parent != 0) s.parent += base;
+    if (capacity_ > 0 && spans_.size() >= capacity_) {
+      ++dropped_;
+      continue;
+    }
+    spans_.push_back(s);
+  }
+  dropped_ += other.dropped_;
+}
+
+std::uint64_t SpanRecorder::digest() const {
+  const auto mix = [](std::uint64_t& h, std::uint64_t word) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (word >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  const auto bits = [](double d) {
+    std::uint64_t u;
+    __builtin_memcpy(&u, &d, sizeof(u));
+    return u;
+  };
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const SpanEvent& s : spans_) {
+    mix(h, s.trace_id);
+    mix(h, s.id);
+    mix(h, s.parent);
+    mix(h, static_cast<std::uint64_t>(s.kind));
+    mix(h, bits(s.t0));
+    mix(h, bits(s.t1));
+    mix(h, s.a);
+    mix(h, s.b);
+    mix(h, bits(s.value));
+  }
+  return h;
+}
+
+void SpanRecorder::export_jsonl(std::ostream& out) const {
+  for (const SpanEvent& s : spans_) {
+    JsonWriter w(out);
+    w.begin_object();
+    w.key("trace").value(s.trace_id);
+    w.key("id").value(static_cast<std::uint64_t>(s.id));
+    w.key("parent").value(static_cast<std::uint64_t>(s.parent));
+    w.key("kind").value(span_kind_name(s.kind));
+    w.key("t0").value(s.t0);
+    w.key("t1").value(s.t1);
+    w.key("a").value(static_cast<std::uint64_t>(s.a));
+    w.key("b").value(static_cast<std::uint64_t>(s.b));
+    w.key("v").value(s.value);
+    w.end_object();
+    out << '\n';
+  }
+}
+
+void SpanRecorder::export_chrome_trace(std::ostream& out) const {
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  for (const SpanEvent& s : spans_) {
+    w.begin_object();
+    w.key("name").value(span_kind_name(s.kind));
+    w.key("cat").value("zeiot");
+    w.key("ph").value("X");
+    // Virtual seconds -> trace microseconds.
+    w.key("ts").value(s.t0 * 1e6);
+    w.key("dur").value(s.duration() * 1e6);
+    w.key("pid").value(static_cast<std::uint64_t>(
+        static_cast<std::uint32_t>(s.trace_id)));
+    w.key("tid").value(static_cast<std::uint64_t>(s.a));
+    w.key("args").begin_object();
+    w.key("id").value(static_cast<std::uint64_t>(s.id));
+    w.key("parent").value(static_cast<std::uint64_t>(s.parent));
+    w.key("b").value(static_cast<std::uint64_t>(s.b));
+    w.key("v").value(s.value);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
+void SpanRecorder::render_tree(std::ostream& out) const {
+  // Children in record order, per parent.  Ids are dense (1..size), so the
+  // child index is a flat vector of vectors.
+  std::vector<std::vector<std::size_t>> children(spans_.size() + 1);
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    // A parent beyond the retained range (possible after a capped merge)
+    // renders as a root rather than indexing out of bounds.
+    const SpanId p =
+        spans_[i].parent <= spans_.size() ? spans_[i].parent : SpanId{0};
+    children[p].push_back(i);
+  }
+  const std::streamsize prec = out.precision();
+  out << std::setprecision(6);
+  // Iterative DFS so a deep chain cannot overflow the stack.
+  struct Frame {
+    std::size_t idx;
+    int depth;
+  };
+  std::vector<Frame> stack;
+  for (auto it = children[0].rbegin(); it != children[0].rend(); ++it) {
+    stack.push_back({*it, 0});
+  }
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const SpanEvent& s = spans_[f.idx];
+    for (int d = 0; d < f.depth; ++d) out << "  ";
+    out << span_kind_name(s.kind) << " [" << s.t0 << ", " << s.t1 << ") dur="
+        << s.duration() << " a=" << s.a << " b=" << s.b;
+    if (s.value != 0.0) out << " v=" << s.value;
+    if (f.depth == 0) out << " trace=" << s.trace_id;
+    out << '\n';
+    const auto& kids = children[s.id];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, f.depth + 1});
+    }
+  }
+  out << std::setprecision(static_cast<int>(prec));
+}
+
+}  // namespace zeiot::obs

@@ -1,6 +1,6 @@
 // Seed-sweep smoke test: every bench_e* binary must run end-to-end in
 // --smoke mode across three seeds and emit a well-formed metrics report
-// conforming to the `zeiot.obs.v1` schema.  This is the cheapest guard
+// conforming to the `zeiot.obs.v2` schema.  This is the cheapest guard
 // against a bench that compiles but crashes mid-run (bad smoke knobs, a
 // config invariant tripped only at reduced scale) or that silently stops
 // writing its report.
@@ -174,13 +174,16 @@ void run_seed_sweep(const std::string& bench,
     ASSERT_FALSE(text.empty()) << "no report at " << report;
     EXPECT_TRUE(JsonChecker(text).valid())
         << report << " is not well-formed JSON";
-    EXPECT_NE(text.find("\"schema\":\"zeiot.obs.v1\""), std::string::npos)
-        << report << " does not declare schema zeiot.obs.v1";
+    EXPECT_NE(text.find("\"schema\":\"zeiot.obs.v2\""), std::string::npos)
+        << report << " does not declare schema zeiot.obs.v2";
     for (const std::string& series : required_series) {
       EXPECT_NE(text.find("\"" + series + "\""), std::string::npos)
           << report << " is missing series " << series;
     }
     std::remove(report.c_str());
+    // Span-enabled benches also write the sibling exports.
+    std::remove((dir + "/" + bench + ".spans.jsonl").c_str());
+    std::remove((dir + "/" + bench + ".trace.json").c_str());
     ::rmdir(dir.c_str());
   }
 }

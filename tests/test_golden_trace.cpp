@@ -18,11 +18,13 @@
 #include "backscatter/coexistence.hpp"
 #include "fault/injector.hpp"
 #include "microdeep/executor.hpp"
+#include "netexec/netexec.hpp"
 
 namespace zeiot {
 namespace {
 
 constexpr const char* kGoldenPath = ZEIOT_GOLDEN_DIR "/e2e_trace.jsonl";
+constexpr const char* kGoldenSpansPath = ZEIOT_GOLDEN_DIR "/e2e_spans.jsonl";
 
 // The scenario is deliberately small (a few thousand events) so the golden
 // file stays reviewable, but crosses every traced subsystem: sim kernel,
@@ -78,6 +80,41 @@ void run_scenario(obs::Observability& obs) {
                                        {}, &obs);
 }
 
+// Span-golden scenario: two fixed-seed lossy network-in-the-loop
+// inferences.  Small enough to review (a few hundred spans) but crossing
+// every netexec span kind: the root Inference, Sense, NodeCompute, HopTx /
+// HopRetryTx / Backoff under 10% loss, and the four phase-attribution
+// children that tile each root.
+void run_span_scenario(obs::Observability& obs) {
+  Rng rng(5);
+  ml::Network net;
+  net.emplace<ml::Conv2D>(1, 3, 3, 1, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::MaxPool2D>(2);
+  net.emplace<ml::Flatten>();
+  net.emplace<ml::Dense>(3 * 4 * 4, 6, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::Dense>(6, 2, rng);
+
+  const Rect area{0.0, 0.0, 10.0, 10.0};
+  const auto wsn = microdeep::WsnTopology::grid(area, 4, 4);
+  const auto graph = microdeep::UnitGraph::build(net, {1, 8, 8});
+  const auto assignment = microdeep::assign_balanced_heuristic(graph, wsn);
+
+  netexec::NetExecConfig cfg;
+  cfg.channel.loss_per_hop = 0.1;
+  cfg.seed = 17;
+  cfg.obs = &obs;
+  netexec::NetworkExecutor exec(net, graph, assignment, wsn, cfg);
+  for (int i = 0; i < 2; ++i) {
+    ml::Tensor sample({1, 8, 8});
+    for (std::size_t j = 0; j < sample.size(); ++j) {
+      sample[j] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+    (void)exec.run(sample);
+  }
+}
+
 std::vector<std::string> split_lines(const std::string& text) {
   std::vector<std::string> lines;
   std::istringstream in(text);
@@ -104,21 +141,20 @@ TEST(GoldenTrace, ScenarioIsDeterministicInProcess) {
   EXPECT_EQ(a.trace().digest(), b.trace().digest());
 }
 
-TEST(GoldenTrace, MatchesCheckedInSnapshot) {
-  const std::string actual_text = render_scenario_jsonl();
-
+/// Byte-level line diff against a checked-in snapshot, with
+/// ZEIOT_UPDATE_GOLDEN regeneration.  Reports the first divergence.
+void expect_matches_golden(const char* path, const std::string& actual_text) {
   if (std::getenv("ZEIOT_UPDATE_GOLDEN") != nullptr) {
-    std::ofstream out(kGoldenPath, std::ios::binary);
-    ASSERT_TRUE(out.is_open()) << "cannot write " << kGoldenPath;
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.is_open()) << "cannot write " << path;
     out << actual_text;
-    GTEST_SKIP() << "golden file regenerated at " << kGoldenPath
+    GTEST_SKIP() << "golden file regenerated at " << path
                  << " — review and commit it";
   }
 
-  std::ifstream in(kGoldenPath, std::ios::binary);
-  ASSERT_TRUE(in.is_open())
-      << "missing golden file " << kGoldenPath
-      << "; regenerate with ZEIOT_UPDATE_GOLDEN=1";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << "missing golden file " << path
+                            << "; regenerate with ZEIOT_UPDATE_GOLDEN=1";
   std::ostringstream golden_buf;
   golden_buf << in.rdbuf();
 
@@ -128,15 +164,39 @@ TEST(GoldenTrace, MatchesCheckedInSnapshot) {
   const std::size_t common = std::min(expected.size(), actual.size());
   for (std::size_t i = 0; i < common; ++i) {
     ASSERT_EQ(expected[i], actual[i])
-        << "trace diverges at line " << (i + 1) << " of " << expected.size()
+        << "diverges at line " << (i + 1) << " of " << expected.size()
         << "\n  golden: " << expected[i] << "\n  actual: " << actual[i]
         << "\nIf the change is intentional, regenerate with "
            "ZEIOT_UPDATE_GOLDEN=1 and commit the new snapshot.";
   }
   ASSERT_EQ(expected.size(), actual.size())
-      << "trace length changed (golden " << expected.size() << " lines, run "
+      << "length changed (golden " << expected.size() << " lines, run "
       << actual.size() << " lines); first " << common << " lines match. "
       << "Regenerate with ZEIOT_UPDATE_GOLDEN=1 if intentional.";
+}
+
+TEST(GoldenTrace, MatchesCheckedInSnapshot) {
+  expect_matches_golden(kGoldenPath, render_scenario_jsonl());
+}
+
+TEST(GoldenTrace, SpanTreeMatchesCheckedInSnapshot) {
+  obs::Observability obs;
+  obs.enable_spans(1u << 14);
+  run_span_scenario(obs);
+  ASSERT_EQ(obs.spans().dropped(), 0u)
+      << "golden span scenario overflowed the recorder; raise capacity";
+  ASSERT_EQ(obs.spans().root_count(), 2u);  // one root per inference
+
+  // In-process double run first: the snapshot only pins what is already
+  // deterministic.
+  obs::Observability again;
+  again.enable_spans(1u << 14);
+  run_span_scenario(again);
+  ASSERT_EQ(obs.spans().digest(), again.spans().digest());
+
+  std::ostringstream out;
+  obs.spans().export_jsonl(out);
+  expect_matches_golden(kGoldenSpansPath, out.str());
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 #include <tuple>
 
 #include "microdeep/executor.hpp"
@@ -218,6 +219,116 @@ TEST(NetexecConformance, EvaluateBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(ra.mean_retransmissions, rb.mean_retransmissions);
   EXPECT_EQ(ra.messages, rb.messages);
   EXPECT_EQ(ra.frames_lost, rb.frames_lost);
+}
+
+/// Lossy evaluate() with spans on: returns the populated context so tests
+/// can inspect the merged span stream.
+std::unique_ptr<obs::Observability> spanning_evaluate(Scenario& s,
+                                                      const ml::Dataset& data,
+                                                      par::ThreadPool* pool) {
+  auto o = std::make_unique<obs::Observability>();
+  o->enable_spans(1 << 16);
+  NetExecConfig cfg;
+  cfg.channel.loss_per_hop = 0.1;
+  cfg.max_retries = 64;
+  cfg.seed = 7;
+  cfg.obs = o.get();
+  NetworkExecutor exec(s.net, s.graph, s.assignment, s.wsn, cfg);
+  (void)exec.evaluate(data, pool);
+  return o;
+}
+
+TEST(NetexecConformance, EvaluateSpanDigestIdenticalAcrossThreadCounts) {
+  Scenario s = make_scenario(5);
+  ml::Dataset data;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    data.add(random_sample(s.shape, 200 + i), static_cast<int>(i % 2));
+  }
+  par::ThreadPool one(1);
+  par::ThreadPool four(4);
+  const auto oa = spanning_evaluate(s, data, &one);
+  const auto ob = spanning_evaluate(s, data, &four);
+  const auto oa2 = spanning_evaluate(s, data, &one);  // double-run identity
+
+  ASSERT_GT(oa->spans().size(), 0u);
+  EXPECT_EQ(oa->spans().dropped(), 0u);
+  EXPECT_EQ(ob->spans().dropped(), 0u);
+  // One root Inference span per sample, at any thread count.
+  EXPECT_EQ(oa->spans().root_count(), data.size());
+  EXPECT_EQ(ob->spans().root_count(), data.size());
+  // The merged span stream — not just aggregates — is bit-identical across
+  // thread counts and across reruns.
+  EXPECT_EQ(oa->spans().digest(), ob->spans().digest());
+  EXPECT_EQ(oa->spans().digest(), oa2->spans().digest());
+  ASSERT_EQ(oa->spans().size(), ob->spans().size());
+  for (std::size_t i = 0; i < oa->spans().size(); ++i) {
+    ASSERT_EQ(oa->spans().at(i), ob->spans().at(i)) << "span " << i;
+  }
+}
+
+TEST(NetexecConformance, SpanPhasesTileEveryRootSpan) {
+  // Per-inference latency attribution: each root Inference span carries
+  // exactly four Phase* children whose durations sum to the root duration
+  // within one virtual tick (1 us), and whose values mirror the
+  // NetInferenceResult::breakdown the executor reports.
+  Scenario s = make_scenario(5);
+  ml::Dataset data;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    data.add(random_sample(s.shape, 300 + i), static_cast<int>(i % 2));
+  }
+  obs::Observability o;
+  o.enable_spans(1 << 16);
+  NetExecConfig cfg;
+  cfg.channel.loss_per_hop = 0.15;  // force retries so retry/idle show up
+  cfg.seed = 11;
+  cfg.obs = &o;
+  NetworkExecutor exec(s.net, s.graph, s.assignment, s.wsn, cfg);
+  (void)exec.evaluate(data, nullptr);
+
+  const obs::SpanRecorder& spans = o.spans();
+  std::size_t roots_checked = 0;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const obs::SpanEvent& root = spans.at(i);
+    if (root.parent != 0) continue;
+    ASSERT_EQ(root.kind, obs::SpanKind::Inference);
+    double phase_sum = 0.0;
+    int phase_count = 0;
+    for (std::size_t j = 0; j < spans.size(); ++j) {
+      const obs::SpanEvent& c = spans.at(j);
+      if (c.parent != root.id) continue;
+      if (c.kind == obs::SpanKind::PhaseCompute ||
+          c.kind == obs::SpanKind::PhaseAirtime ||
+          c.kind == obs::SpanKind::PhaseRetry ||
+          c.kind == obs::SpanKind::PhaseIdle) {
+        phase_sum += c.duration();
+        ++phase_count;
+        // Phase children never extend past the root interval.
+        EXPECT_GE(c.t0, root.t0 - 1e-12);
+        EXPECT_LE(c.t1, root.t1 + 1e-12);
+      }
+    }
+    EXPECT_EQ(phase_count, 4) << "root " << root.id;
+    EXPECT_NEAR(phase_sum, root.duration(), 1e-6) << "root " << root.id;
+    ++roots_checked;
+  }
+  EXPECT_EQ(roots_checked, data.size());
+}
+
+TEST(NetexecConformance, RunBreakdownMatchesLatencyAndRetries) {
+  // The always-on breakdown (no spans needed) partitions the latency.
+  Scenario s = make_scenario(3);
+  const ml::Tensor sample = random_sample(s.shape, 42);
+  NetExecConfig cfg;
+  cfg.channel.loss_per_hop = 0.2;
+  cfg.seed = 13;
+  NetworkExecutor exec(s.net, s.graph, s.assignment, s.wsn, cfg);
+  const auto got = exec.run(sample);
+  EXPECT_NEAR(got.breakdown.total_s(), got.latency_s, 1e-6);
+  EXPECT_GT(got.breakdown.compute_s, 0.0);
+  EXPECT_GT(got.breakdown.airtime_s, 0.0);
+  if (got.retransmissions > 0) {
+    EXPECT_GT(got.breakdown.retry_s + got.breakdown.idle_s, 0.0);
+  }
 }
 
 TEST(NetexecConformance, LossyRunsAreSeedDeterministic) {

@@ -175,10 +175,28 @@ TEST(Report, WritesSchemaDocument) {
   Report report("bench_x");
   report.write(out, obs.metrics(), &obs.trace());
   const std::string s = out.str();
-  EXPECT_NE(s.find("\"schema\":\"zeiot.obs.v1\""), std::string::npos);
+  EXPECT_NE(s.find("\"schema\":\"zeiot.obs.v2\""), std::string::npos);
   EXPECT_NE(s.find("\"bench\":\"bench_x\""), std::string::npos);
   EXPECT_NE(s.find("\"sim.events.executed\":12"), std::string::npos);
   EXPECT_NE(s.find("\"recorded\":1"), std::string::npos);
+  // Spans were never enabled: the v2 spans block must be absent (v1
+  // consumers reading v2 reports only gain keys when spans are on).
+  EXPECT_EQ(s.find("\"spans\""), std::string::npos);
+}
+
+TEST(Report, SpansBlockWhenEnabled) {
+  Observability obs(4);
+  obs.enable_spans(16);
+  const SpanId root = obs.spans().open(SpanKind::Inference, 0.0);
+  obs.spans().add(SpanKind::HopTx, 0.0, 1.0, root);
+  obs.spans().close(root, 2.0);
+  std::ostringstream out;
+  Report report("bench_x");
+  report.write(out, obs.metrics(), &obs.trace(), &obs.spans());
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"spans\":{\"recorded\":2,\"dropped\":0,\"roots\":1}"),
+            std::string::npos)
+      << s;
 }
 
 TEST(ScopeTimer, NullSinkIsNoop) {
@@ -188,6 +206,222 @@ TEST(ScopeTimer, NullSinkIsNoop) {
   { ScopeTimer t(&s); }
   EXPECT_EQ(s.count(), 1u);
   EXPECT_GE(s.min(), 0.0);
+}
+
+// ---- SpanRecorder --------------------------------------------------------
+
+TEST(SpanRecorder, OpenCloseAndAdd) {
+  SpanRecorder rec(16);
+  EXPECT_TRUE(rec.enabled());
+  const SpanId root = rec.open(SpanKind::Inference, 0.0, 0, 77, 4, 2);
+  ASSERT_NE(root, 0u);
+  const SpanId child = rec.add(SpanKind::HopTx, 0.5, 1.5, root, 77, 3, 9, 2e-6);
+  ASSERT_NE(child, 0u);
+  rec.close(root, 2.0, 1.25);
+  ASSERT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.root_count(), 1u);
+  const SpanEvent& r = rec.at(0);
+  EXPECT_EQ(r.kind, SpanKind::Inference);
+  EXPECT_EQ(r.trace_id, 77u);
+  EXPECT_EQ(r.parent, 0u);
+  EXPECT_DOUBLE_EQ(r.t0, 0.0);
+  EXPECT_DOUBLE_EQ(r.t1, 2.0);
+  EXPECT_DOUBLE_EQ(r.value, 1.25);
+  EXPECT_EQ(r.a, 4u);
+  EXPECT_EQ(r.b, 2u);
+  const SpanEvent& c = rec.at(1);
+  EXPECT_EQ(c.parent, root);
+  EXPECT_DOUBLE_EQ(c.duration(), 1.0);
+}
+
+TEST(SpanRecorder, DisabledRecorderIsNullSink) {
+  SpanRecorder rec;  // capacity 0
+  EXPECT_FALSE(rec.enabled());
+  EXPECT_EQ(rec.open(SpanKind::Inference, 0.0), 0u);
+  EXPECT_EQ(rec.add(SpanKind::HopTx, 0.0, 1.0), 0u);
+  rec.close(0, 1.0);  // close of the null id must be a no-op
+  EXPECT_EQ(rec.size(), 0u);
+  // A disabled recorder records nothing and *drops* nothing — it is off,
+  // not overflowing.
+  EXPECT_EQ(rec.dropped(), 0u);
+  // Merging into a disabled recorder is ignored (the per-slot merge path
+  // must be safe when spans were never enabled).
+  SpanRecorder other(4);
+  other.add(SpanKind::SimStep, 0.0, 1.0);
+  rec.merge(other);
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(SpanRecorder, FullRecorderDropsNewest) {
+  SpanRecorder rec(2);
+  const SpanId a = rec.add(SpanKind::SimStep, 0.0, 1.0);
+  const SpanId b = rec.add(SpanKind::SimStep, 1.0, 2.0);
+  const SpanId c = rec.add(SpanKind::SimStep, 2.0, 3.0);  // refused
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_EQ(c, 0u);
+  EXPECT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.dropped(), 1u);
+  // The *oldest* spans are retained (dropping them would orphan subtrees).
+  EXPECT_DOUBLE_EQ(rec.at(0).t0, 0.0);
+  EXPECT_DOUBLE_EQ(rec.at(1).t0, 1.0);
+}
+
+TEST(SpanRecorder, MergeRemapsIdsAndPreservesParents) {
+  // Recording the same spans sequentially or via per-slot recorders merged
+  // in slot order must produce bit-identical recorders — the property the
+  // netexec evaluate() fan-out relies on for thread-count independence.
+  SpanRecorder sequential(16);
+  for (int slot = 0; slot < 2; ++slot) {
+    const auto tid = static_cast<std::uint64_t>(100 + slot);
+    const SpanId root = sequential.open(SpanKind::Inference, 0.0, 0, tid);
+    sequential.add(SpanKind::HopTx, 0.0, 1.0, root, tid);
+    sequential.close(root, 2.0);
+  }
+
+  SpanRecorder slots[2] = {SpanRecorder(8), SpanRecorder(8)};
+  for (int slot = 0; slot < 2; ++slot) {
+    const auto tid = static_cast<std::uint64_t>(100 + slot);
+    const SpanId root = slots[slot].open(SpanKind::Inference, 0.0, 0, tid);
+    slots[slot].add(SpanKind::HopTx, 0.0, 1.0, root, tid);
+    slots[slot].close(root, 2.0);
+  }
+  SpanRecorder merged(16);
+  merged.merge(slots[0]);
+  merged.merge(slots[1]);
+
+  ASSERT_EQ(merged.size(), sequential.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged.at(i), sequential.at(i)) << "span " << i;
+  }
+  EXPECT_EQ(merged.digest(), sequential.digest());
+  EXPECT_EQ(merged.root_count(), 2u);
+  // Parent links survived the id remap: the second tree's child points at
+  // the second root, not the first.
+  EXPECT_EQ(merged.at(3).parent, merged.at(2).id);
+}
+
+TEST(SpanRecorder, DigestIsStableAndSensitive) {
+  auto record = [](double shift) {
+    SpanRecorder rec(8);
+    const SpanId root = rec.open(SpanKind::Inference, 0.0, 0, 42);
+    rec.add(SpanKind::NodeCompute, shift, shift + 0.5, root, 42, 1);
+    rec.close(root, 1.0);
+    return rec;
+  };
+  EXPECT_EQ(record(0.25).digest(), record(0.25).digest());
+  EXPECT_NE(record(0.25).digest(), record(0.375).digest());
+  EXPECT_NE(SpanRecorder(8).digest(), 0u);  // empty digest is the FNV basis
+}
+
+TEST(SpanRecorder, ExportJsonlFormat) {
+  SpanRecorder rec(8);
+  const SpanId root = rec.open(SpanKind::Inference, 0.0, 0, 7);
+  rec.add(SpanKind::Backoff, 0.25, 0.5, root, 7, 3, 1);
+  rec.close(root, 1.0, 0.5);
+  std::ostringstream out;
+  rec.export_jsonl(out);
+  const std::string s = out.str();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+  EXPECT_NE(s.find("\"kind\":\"inference\""), std::string::npos);
+  EXPECT_NE(s.find("\"kind\":\"backoff\""), std::string::npos);
+  EXPECT_NE(s.find("\"trace\":7"), std::string::npos);
+  EXPECT_NE(s.find("\"parent\":1"), std::string::npos);
+}
+
+TEST(SpanRecorder, ExportChromeTraceFormat) {
+  SpanRecorder rec(8);
+  const SpanId root = rec.open(SpanKind::Inference, 0.0, 0, 9, 5);
+  rec.close(root, 0.002);
+  std::ostringstream out;
+  rec.export_chrome_trace(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(s.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"inference\""), std::string::npos);
+  // Virtual seconds export as microseconds; pid carries the trace id and
+  // tid the span's `a` attribute.
+  EXPECT_NE(s.find("\"dur\":2000"), std::string::npos);
+  EXPECT_NE(s.find("\"pid\":9"), std::string::npos);
+  EXPECT_NE(s.find("\"tid\":5"), std::string::npos);
+}
+
+TEST(SpanRecorder, RenderTreeIndentsChildren) {
+  SpanRecorder rec(8);
+  const SpanId root = rec.open(SpanKind::Inference, 0.0, 0, 1);
+  const SpanId hop = rec.add(SpanKind::HopTx, 0.0, 1.0, root, 1);
+  rec.add(SpanKind::Backoff, 1.0, 1.5, hop, 1);
+  rec.close(root, 2.0);
+  std::ostringstream out;
+  rec.render_tree(out);
+  const std::string s = out.str();
+  const auto inf = s.find("inference");
+  const auto tx = s.find("hop_tx");
+  const auto bo = s.find("backoff");
+  ASSERT_NE(inf, std::string::npos);
+  ASSERT_NE(tx, std::string::npos);
+  ASSERT_NE(bo, std::string::npos);
+  EXPECT_LT(inf, tx);
+  EXPECT_LT(tx, bo);
+}
+
+TEST(Observability, EnableSpansOptIn) {
+  Observability obs;
+  EXPECT_FALSE(obs.spans_enabled());
+  obs.enable_spans(32);
+  EXPECT_TRUE(obs.spans_enabled());
+  EXPECT_EQ(obs.spans().capacity(), 32u);
+}
+
+// ---- ProfilerRegistry ----------------------------------------------------
+
+TEST(Profiler, SelfExcludesInstrumentedCallees) {
+  ProfilerRegistry prof;
+  const auto outer = prof.region("outer");
+  const auto inner = prof.region("inner");
+  EXPECT_EQ(prof.region("outer"), outer);  // interning is idempotent
+  {
+    ScopedTimer t_outer(&prof, outer);
+    ScopedTimer t_inner(&prof, inner);
+    volatile double sink = 0.0;
+    for (int i = 0; i < 1000; ++i) sink = sink + 1.0;
+  }
+  const auto& o = prof.at(outer);
+  const auto& i = prof.at(inner);
+  EXPECT_EQ(o.count, 1u);
+  EXPECT_EQ(i.count, 1u);
+  // Outer's total covers inner's total; outer's self excludes it.
+  EXPECT_GE(o.total_s, i.total_s);
+  EXPECT_LE(o.self_s, o.total_s);
+  EXPECT_DOUBLE_EQ(i.self_s, i.total_s);  // inner has no instrumented callee
+  EXPECT_DOUBLE_EQ(o.self_s, o.total_s - i.total_s);
+}
+
+TEST(Profiler, ReportPublishesGauges) {
+  ProfilerRegistry prof;
+  const auto id = prof.region("phase.x");
+  { ScopedTimer t(&prof, id); }
+  MetricsRegistry m;
+  prof.report(m);
+  EXPECT_TRUE(m.has("prof.phase.x.total_s"));
+  EXPECT_TRUE(m.has("prof.phase.x.self_s"));
+  EXPECT_TRUE(m.has("prof.phase.x.count"));
+  EXPECT_DOUBLE_EQ(m.gauge_value("prof.phase.x.count"), 1.0);
+}
+
+TEST(Profiler, NullRegistryScopedTimerIsNoop) {
+  // Must not crash; the id is meaningless when the registry is null.
+  ScopedTimer t(nullptr, 123);
+}
+
+TEST(Profiler, ResetKeepsInternedIds) {
+  ProfilerRegistry prof;
+  const auto id = prof.region("r");
+  { ScopedTimer t(&prof, id); }
+  prof.reset();
+  EXPECT_EQ(prof.at(id).count, 0u);
+  EXPECT_DOUBLE_EQ(prof.at(id).total_s, 0.0);
+  EXPECT_EQ(prof.region("r"), id);
 }
 
 }  // namespace

@@ -121,6 +121,50 @@ TEST(Histogram, PercentileBounds) {
   EXPECT_THROW(h.percentile(100.5), Error);
 }
 
+TEST(Histogram, QuantileEdgesSkipEmptyLeadingAndTrailingBins) {
+  // One sample in the middle bin: q=0 must report the low edge of the
+  // first *occupied* bin (not lo_) and q=1 the high edge of the last
+  // occupied bin (not hi_).
+  Histogram h(0.0, 10.0, 10);
+  h.add(5.5);  // bin 5: [5, 6)
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 6.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.5);  // uniform mass inside the bin
+}
+
+TEST(Histogram, QuantileSingleBucketInterpolatesLinearly) {
+  Histogram h(2.0, 4.0, 1);
+  h.add(3.0);
+  h.add(3.5);
+  // All mass in the only bin: q maps linearly across [lo, hi].
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+}
+
+TEST(Histogram, QuantileNeverInterpolatesIntoEmptyBins) {
+  // Bimodal: one sample in bin 0, one in bin 9, bins 1-8 empty.  Every
+  // quantile must land inside an occupied bin — never in the (1, 9) gap.
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);   // high edge of bin 0
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 9.5);  // halfway through bin 9
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+  for (double q : {0.1, 0.3, 0.5, 0.6, 0.8, 0.99}) {
+    const double v = h.quantile(q);
+    EXPECT_TRUE(v <= 1.0 || v >= 9.0) << "q=" << q << " -> " << v;
+  }
+}
+
+TEST(Histogram, QuantileEmptyHistogramAllEdges) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.37), 2.0);
+}
+
 TEST(Histogram, MergeAddsCounts) {
   Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 10);
   a.add(1.0);

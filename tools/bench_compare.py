@@ -2,30 +2,44 @@
 """Diff two zeiot bench metrics JSON files and flag perf regressions.
 
 Compares the perf.* gauge series emitted by the bench binaries
-(perf.<key>.wall_s / perf.<key>.items_per_s):
+(perf.<key>.wall_s / perf.<key>.items_per_s), the span-derived latency
+attribution gauges (netexec.breakdown.{compute,airtime,retry,idle}_{p50,
+p99}_s), and the tracing-overhead ratios (obs.overhead.*_ratio):
 
     tools/bench_compare.py baseline.metrics.json current.metrics.json
 
 A key regresses when wall_s grows (or items_per_s shrinks) by more than
---threshold (default 0.15 = 15%).  Exit status is 1 when any regression is
-found, unless --warn-only is given (CI uses warn-only against the
-checked-in baseline, which was recorded on different hardware).
+--threshold (default 0.15 = 15%).  Breakdown gauges are *virtual*-time, so
+any drift there is a behavioral change, not host noise — they are compared
+with the same threshold and "bigger is worse" polarity.  Exit status is 1
+when any regression is found, unless --warn-only is given (CI uses
+warn-only against the checked-in baseline, which was recorded on different
+hardware).
+
+Accepts both zeiot.obs.v1 (pre-span baselines) and zeiot.obs.v2 reports —
+v2 adds the "spans" block and the breakdown/overhead gauges, which simply
+show up as keys-only-in-current against a v1 baseline.
 """
 
 import argparse
 import json
 import sys
 
+ACCEPTED_SCHEMAS = ("zeiot.obs.v1", "zeiot.obs.v2")
 
-def load_perf_gauges(path):
+# Gauge prefixes diffed between runs, beyond validity checks.
+COMPARED_PREFIXES = ("perf.", "netexec.breakdown.", "obs.overhead.")
+
+
+def load_compared_gauges(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") != "zeiot.obs.v1":
+    if doc.get("schema") not in ACCEPTED_SCHEMAS:
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
     gauges = doc.get("metrics", {}).get("gauges", {})
     out = {}
     for name, value in gauges.items():
-        if not name.startswith("perf."):
+        if not name.startswith(COMPARED_PREFIXES):
             continue
         # Gauge values may be serialized as {"value": x} or a bare number.
         out[name] = value["value"] if isinstance(value, dict) else value
@@ -42,8 +56,8 @@ def main():
                     help="report regressions but exit 0")
     args = ap.parse_args()
 
-    base = load_perf_gauges(args.baseline)
-    cur = load_perf_gauges(args.current)
+    base = load_compared_gauges(args.baseline)
+    cur = load_compared_gauges(args.current)
     if not base:
         sys.exit(f"{args.baseline}: no perf.* gauges found")
     if not cur:
@@ -55,11 +69,13 @@ def main():
         b, c = base[name], cur[name]
         if b <= 0:
             continue
-        # wall_s: bigger is worse; items_per_s: smaller is worse.
-        if name.endswith(".wall_s"):
-            rel = (c - b) / b
-        elif name.endswith(".items_per_s"):
+        # items_per_s: smaller is worse (checked first — it also ends in
+        # `_s`).  wall_s / virtual-second breakdowns / overhead ratios:
+        # bigger is worse.
+        if name.endswith(".items_per_s"):
             rel = (b - c) / b
+        elif name.endswith(("_s", "_ratio")):
+            rel = (c - b) / b
         else:
             continue
         line = f"  {name}: {b:.6g} -> {c:.6g} ({rel:+.1%})"
