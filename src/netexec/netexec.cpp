@@ -715,6 +715,7 @@ NetEvalResult NetworkExecutor::evaluate(const ml::Dataset& data,
                                     pct(ph_retry, 0.50), pct(ph_idle, 0.50)};
   ev.p99_breakdown = PhaseBreakdown{pct(ph_compute, 0.99), pct(ph_air, 0.99),
                                     pct(ph_retry, 0.99), pct(ph_idle, 0.99)};
+  ev.latencies_s = lat;  // unsorted: dataset index order
 
   if (cfg_.obs != nullptr) {
     auto& m = cfg_.obs->metrics();

@@ -144,6 +144,11 @@ struct NetEvalResult {
   /// as the latency percentiles above).
   PhaseBreakdown p50_breakdown{};
   PhaseBreakdown p99_breakdown{};
+  /// Per-sample end-to-end latencies in dataset index order — the raw
+  /// population behind the percentiles, so fleet-level aggregation can
+  /// compute exact percentiles across many deployments instead of
+  /// approximating from per-deployment summaries.
+  std::vector<double> latencies_s;
 };
 
 class NetworkExecutor {

@@ -43,6 +43,18 @@ class Observability {
   /// the given capacity.  Call before instrumented code runs.
   void enable_spans(std::size_t capacity) { spans_ = SpanRecorder(capacity); }
 
+  /// Merges another context into this one: counters add, histograms and
+  /// summaries combine, gauges take `other`'s value, trace events append
+  /// through the ring, and spans append with parent-link remapping (only
+  /// when this context has spans enabled).  Merging per-deployment
+  /// contexts in slot order is the fleet aggregation path — the combined
+  /// record is then bit-identical at any ZEIOT_THREADS.
+  void merge_from(const Observability& other) {
+    metrics_.merge(other.metrics_);
+    trace_.merge(other.trace_);
+    if (spans_enabled() && other.spans_.size() > 0) spans_.merge(other.spans_);
+  }
+
  private:
   MetricsRegistry metrics_;
   TraceRecorder trace_;

@@ -58,6 +58,15 @@ void TraceRecorder::clear() {
   recorded_ = 0;
 }
 
+void TraceRecorder::merge(const TraceRecorder& other) {
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    const TraceEvent& e = other.at(i);
+    record(e.t, e.type, e.a, e.b, e.value);
+  }
+  // Events other already lost to wraparound are lost here too.
+  recorded_ += other.dropped();
+}
+
 std::uint64_t TraceRecorder::digest() const {
   const auto mix = [](std::uint64_t& h, std::uint64_t word) {
     for (int i = 0; i < 8; ++i) {

@@ -82,6 +82,13 @@ class TraceRecorder {
 
   void clear();
 
+  /// Appends `other`'s retained events in order, through the normal ring
+  /// semantics (wraparound drops this recorder's oldest events), and folds
+  /// `other`'s own drop count into recorded().  Merging per-deployment
+  /// recorders in slot order yields a recorder bit-identical at any worker
+  /// count — the TraceRecorder face of the fleet merge convention.
+  void merge(const TraceRecorder& other);
+
   /// Writes one JSON object per line: {"t":..,"type":"..","a":..,"b":..,
   /// "v":..}.
   void export_jsonl(std::ostream& out) const;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <memory>
 
 namespace zeiot::sim {
 
@@ -11,14 +10,30 @@ Simulator::~Simulator() {
     delete heap_.top();
     heap_.pop();
   }
+  for (Event* ev : free_) delete ev;
 }
 
 EventHandle Simulator::push(Time t, Callback cb) {
-  auto* ev = new Event{t, next_seq_++, std::move(cb), false};
+  Event* ev;
+  if (free_.empty()) {
+    ev = new Event{t, next_seq_++, std::move(cb), false};
+  } else {
+    ev = free_.back();
+    free_.pop_back();
+    ev->time = t;
+    ev->seq = next_seq_++;
+    ev->cb = std::move(cb);
+    ev->cancelled = false;
+  }
   heap_.push(ev);
   live_ids_.insert(ev->seq);
   if (observer_ != nullptr) observer_->on_scheduled(t, ev->seq);
   return EventHandle(ev->seq);
+}
+
+void Simulator::recycle(Event* ev) {
+  ev->cb = nullptr;  // release captured state now, not at reuse time
+  free_.push_back(ev);
 }
 
 EventHandle Simulator::schedule(Time delay, Callback cb) {
@@ -42,23 +57,30 @@ bool Simulator::cancel(EventHandle h) {
 }
 
 bool Simulator::pop_and_run() {
-  std::unique_ptr<Event> ev(heap_.top());
+  Event* ev = heap_.top();
   heap_.pop();
-  if (live_ids_.erase(ev->seq) == 0) return false;  // was cancelled
+  if (live_ids_.erase(ev->seq) == 0) {  // was cancelled
+    recycle(ev);
+    return false;
+  }
   now_ = ev->time;
+  const Time t = ev->time;
+  const std::uint64_t seq = ev->seq;
   if (observer_ == nullptr) {
     ev->cb();
-    if (post_step_hook_) post_step_hook_(ev->time);
+    recycle(ev);
+    if (post_step_hook_) post_step_hook_(t);
     return true;
   }
   // Wall-clock timing of the callback only happens when observed, so the
   // unobserved hot path stays a single pointer test.
   const auto start = std::chrono::steady_clock::now();
   ev->cb();
+  recycle(ev);
   const std::chrono::duration<double> wall =
       std::chrono::steady_clock::now() - start;
-  observer_->on_executed(ev->time, ev->seq, live_ids_.size(), wall.count());
-  if (post_step_hook_) post_step_hook_(ev->time);
+  observer_->on_executed(t, seq, live_ids_.size(), wall.count());
+  if (post_step_hook_) post_step_hook_(t);
   return true;
 }
 

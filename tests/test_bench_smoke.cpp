@@ -222,4 +222,13 @@ TEST(BenchSmoke, E7EnergySeedSweep) {
   run_seed_sweep("bench_e7_energy_budget", {});
 }
 
+// The fleet bench must report the fleet aggregates plus the headline
+// devices/wall-second throughput gauge (perf.a8.fleet.items_per_s).
+TEST(BenchSmoke, A8FleetSeedSweep) {
+  run_seed_sweep("bench_a8_fleet",
+                 {"fleet.deployments", "fleet.devices", "fleet.accuracy",
+                  "fleet.e6.delivery_ratio", "perf.a8.fleet.wall_s",
+                  "perf.a8.fleet.items_per_s"});
+}
+
 }  // namespace

@@ -414,6 +414,153 @@ TEST(Profiler, NullRegistryScopedTimerIsNoop) {
   ScopedTimer t(nullptr, 123);
 }
 
+// ---------------------------------------------------------------------------
+// Registry-merge order-independence fuzz (the fleet aggregation contract).
+//
+// The fleet merges per-deployment registries in slot order, which makes
+// the merged bytes deterministic for a *fixed* order.  A stronger
+// property holds for the key shapes fleet deployments actually produce —
+// integer-valued shared counters, per-deployment (disjoint) labeled
+// series, and shared-bounds histograms — and this fuzz pins it: merging N
+// such registries in ANY order yields byte-identical JSON, including
+// histogram bin counts and dropped-event accounting.  (Shared *gauges*
+// are last-write by design and shared float summaries accumulate in
+// merge order; neither shape is emitted per-deployment, so they are
+// deliberately outside this property.)
+
+std::vector<MetricsRegistry> make_fuzz_registries(std::uint64_t seed,
+                                                  std::size_t n) {
+  Rng rng(seed);
+  std::vector<MetricsRegistry> regs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& m = regs[i];
+    // Shared counters with integer deltas: addition is exact and
+    // commutative in doubles up to 2^53.
+    m.counter("fuzz.events").inc(static_cast<double>(rng.uniform_int(0, 50)));
+    m.counter("fuzz.frames_lost")
+        .inc(static_cast<double>(rng.uniform_int(0, 5)));
+    // Disjoint per-slot series (the fleet's per-deployment label pattern).
+    const Labels slot{{"slot", std::to_string(i)}};
+    m.gauge("fuzz.accuracy", slot).set(rng.uniform(0.0, 1.0));
+    m.summary("fuzz.latency", slot).observe(rng.uniform(0.0, 0.25));
+    auto& own_hist = m.histogram("fuzz.local_s", 0.0, 1.0, 16, slot);
+    for (int k = rng.uniform_int(1, 4); k > 0; --k) {
+      own_hist.observe(rng.uniform(0.0, 1.0));
+    }
+    // Shared-key histogram with identical bounds: bin counts add exactly;
+    // constant-valued observations keep the attached RunningStats exact
+    // (Welford's merge is exact when every sample equals the mean).
+    auto& shared = m.histogram("fuzz.shared_s", 0.0, 1.0, 8);
+    for (int k = rng.uniform_int(1, 6); k > 0; --k) shared.observe(0.125);
+  }
+  return regs;
+}
+
+TEST(MetricsRegistry, MergeIsSlotOrderIndependentForFleetShapes) {
+  Rng order_rng(99);
+  for (std::uint64_t seed : {7u, 21u, 1234u}) {
+    for (std::size_t n : {2u, 5u, 9u}) {
+      const auto regs = make_fuzz_registries(seed, n);
+      std::vector<std::size_t> order(n);
+      for (std::size_t i = 0; i < n; ++i) order[i] = i;
+      std::string reference;
+      for (int perm = 0; perm < 6; ++perm) {
+        MetricsRegistry merged;
+        for (const std::size_t idx : order) merged.merge(regs[idx]);
+        const std::string json = merged.to_json();
+        if (perm == 0) {
+          reference = json;
+        } else {
+          EXPECT_EQ(json, reference)
+              << "seed " << seed << " n " << n << " perm " << perm;
+        }
+        order_rng.shuffle(order);
+      }
+    }
+  }
+}
+
+TEST(TraceRecorder, MergeAppendsThroughRingAndFoldsDrops) {
+  // Merge == replaying other's retained events in order; other's events
+  // already lost to wraparound stay lost but remain counted.
+  TraceRecorder a(8);
+  TraceRecorder b(4);
+  for (int i = 0; i < 3; ++i) {
+    a.record(static_cast<double>(i), TraceType::EventFired,
+             static_cast<std::uint32_t>(i));
+  }
+  for (int i = 0; i < 6; ++i) {  // wraps: retains 4, drops 2
+    b.record(10.0 + i, TraceType::PacketTx, static_cast<std::uint32_t>(i));
+  }
+  ASSERT_EQ(b.size(), 4u);
+  ASSERT_EQ(b.dropped(), 2u);
+
+  TraceRecorder manual(8);
+  for (int i = 0; i < 3; ++i) {
+    manual.record(static_cast<double>(i), TraceType::EventFired,
+                  static_cast<std::uint32_t>(i));
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const TraceEvent& e = b.at(i);
+    manual.record(e.t, e.type, e.a, e.b, e.value);
+  }
+
+  a.merge(b);
+  EXPECT_EQ(a.size(), 7u);
+  EXPECT_EQ(a.digest(), manual.digest());
+  // recorded() folds b's drop count so merged dropped() stays truthful.
+  EXPECT_EQ(a.recorded(), 3u + 4u + 2u);
+  EXPECT_EQ(a.dropped(), 0u + 2u);
+}
+
+TEST(TraceRecorder, MergeOfDisjointSlotsIsOrderSensitiveButDeterministic) {
+  // The fleet contract is slot-ORDER merge, not order independence: trace
+  // rings are sequences.  Double-merging in the same order must be
+  // byte-identical; a different order legitimately yields another digest.
+  const auto build = [](std::uint64_t seed) {
+    TraceRecorder r(16);
+    Rng rng(seed);
+    for (int i = 0; i < 5; ++i) {
+      r.record(rng.uniform(0.0, 1.0), TraceType::EventFired,
+               static_cast<std::uint32_t>(rng.uniform_int(0, 9)));
+    }
+    return r;
+  };
+  const TraceRecorder x = build(1), y = build(2);
+  TraceRecorder ab(64), ab2(64), ba(64);
+  ab.merge(x);
+  ab.merge(y);
+  ab2.merge(x);
+  ab2.merge(y);
+  ba.merge(y);
+  ba.merge(x);
+  EXPECT_EQ(ab.digest(), ab2.digest());
+  EXPECT_NE(ab.digest(), ba.digest());
+}
+
+TEST(Observability, MergeFromCombinesMetricsTracesAndSpans) {
+  Observability dst(64);
+  dst.enable_spans(32);
+  Observability src(64);
+  src.enable_spans(32);
+
+  dst.metrics().counter("m.count").inc(2.0);
+  src.metrics().counter("m.count").inc(3.0);
+  dst.trace().record(0.5, TraceType::EventFired, 1);
+  src.trace().record(0.75, TraceType::PacketRx, 2);
+  const SpanId root = src.spans().open(SpanKind::Inference, 0.0, 0, 42);
+  src.spans().close(root, 1.0, 7.0);
+
+  dst.merge_from(src);
+  EXPECT_DOUBLE_EQ(dst.metrics().counter_value("m.count"), 5.0);
+  EXPECT_EQ(dst.trace().size(), 2u);
+  ASSERT_EQ(dst.spans().size(), 1u);
+  EXPECT_EQ(dst.spans().at(0).trace_id, 42u);
+  // Span ids were remapped past dst's existing size (none here), parent
+  // links intact: the merged root is still a root.
+  EXPECT_EQ(dst.spans().root_count(), 1u);
+}
+
 TEST(Profiler, ResetKeepsInternedIds) {
   ProfilerRegistry prof;
   const auto id = prof.region("r");

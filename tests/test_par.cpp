@@ -360,3 +360,85 @@ TEST(Determinism, MergedMetricsRegistriesMatchAcrossPoolSizes) {
   };
   EXPECT_EQ(sweep_json(1), sweep_json(4));
 }
+
+// ------------------------------------------------- fleet substream purity --
+//
+// Property (rides on the fleet simulator): a deployment's outcome digest is
+// a pure function of (fleet_seed, kind, cell_id, parameters).  Randomized
+// fleet configurations — mixed templates, sizes 1..256, random seeds —
+// must reproduce each deployment's digest when that deployment runs alone
+// in a singleton fleet, and a different fleet seed must move the digests.
+
+#include "fleet/fleet.hpp"
+
+namespace {
+
+std::vector<zeiot::fleet::DeploymentSpec> random_fleet(Rng& rng,
+                                                       std::size_t n,
+                                                       bool allow_inference) {
+  using zeiot::fleet::DeploymentSpec;
+  using zeiot::fleet::TemplateKind;
+  std::vector<DeploymentSpec> specs;
+  for (std::size_t i = 0; i < n; ++i) {
+    DeploymentSpec spec;
+    // Mostly cheap E6 cells; a sprinkle of CNN deployments when allowed.
+    const bool inference = allow_inference && rng.uniform_int(0, 7) == 0;
+    if (inference) {
+      spec.kind = rng.uniform_int(0, 1) == 0 ? TemplateKind::LoungeE1
+                                             : TemplateKind::IrArrayE2;
+      spec.samples = 1;
+    } else {
+      spec.kind = TemplateKind::BackscatterCellE6;
+      spec.devices = static_cast<std::size_t>(rng.uniform_int(1, 8));
+      spec.horizon_s = 0.25;
+      spec.wlan_rate_hz = static_cast<double>(rng.uniform_int(10, 60));
+    }
+    spec.cell_id = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+zeiot::fleet::FleetResult run_fleet_cfg(
+    std::vector<zeiot::fleet::DeploymentSpec> specs, std::uint64_t seed) {
+  zeiot::obs::Observability obs(1 << 12);
+  zeiot::fleet::FleetConfig cfg;
+  cfg.seed = seed;
+  cfg.deployments = std::move(specs);
+  cfg.obs = &obs;
+  zeiot::fleet::FleetSimulator fleet(std::move(cfg));
+  return fleet.run();
+}
+
+}  // namespace
+
+TEST(Determinism, FleetDeploymentDigestsDependOnlyOnSeedAndIdentity) {
+  Rng meta(20260808);
+  // Trial sizes cover the spec'd 1..256 range; inference templates join
+  // only the small trials (template construction dominates otherwise).
+  const struct {
+    std::size_t n;
+    bool inference;
+  } trials[] = {{1, false}, {12, true}, {256, false}};
+  for (const auto& trial : trials) {
+    const std::uint64_t fleet_seed =
+        static_cast<std::uint64_t>(meta.uniform_int(1, 1000000));
+    const auto specs = random_fleet(meta, trial.n, trial.inference);
+    const auto full = run_fleet_cfg(specs, fleet_seed);
+
+    // Each probed deployment, alone in a singleton fleet, reproduces its
+    // in-fleet digest exactly.
+    for (int probe = 0; probe < 3; ++probe) {
+      const auto k = static_cast<std::size_t>(
+          meta.uniform_int(0, static_cast<std::int64_t>(trial.n) - 1));
+      const auto solo = run_fleet_cfg({specs[k]}, fleet_seed);
+      EXPECT_EQ(solo.digest[0], full.digest[k])
+          << "n=" << trial.n << " k=" << k << " seed=" << fleet_seed;
+    }
+
+    // A different fleet seed re-keys every deployment substream.
+    const auto reseeded = run_fleet_cfg(specs, fleet_seed + 1);
+    EXPECT_NE(reseeded.digest, full.digest)
+        << "fleet seed had no effect (n=" << trial.n << ")";
+  }
+}
