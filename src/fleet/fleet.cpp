@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "common/stats.hpp"
 
 namespace zeiot::fleet {
 
@@ -32,16 +33,12 @@ class Fnv {
   std::uint64_t h_ = 0xcbf29ce484222325ULL;
 };
 
-/// netexec's percentile convention (sorted copy, llround(q*(n-1))), reused
-/// verbatim so the 1-deployment fleet matches NetEvalResult bit-for-bit
-/// and fleet-level percentiles stay on the same definition.
+/// netexec's percentile convention (common/stats nearest_rank_quantile),
+/// shared so the 1-deployment fleet matches NetEvalResult bit-for-bit and
+/// fleet-level percentiles stay on the same definition.  Empty populations
+/// (every inference shed or terminated) aggregate to a defined zero.
 double pct(std::vector<double> v, double q) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const std::size_t n = v.size();
-  const auto idx =
-      static_cast<std::size_t>(std::llround(q * static_cast<double>(n - 1)));
-  return v[std::min(idx, n - 1)];
+  return nearest_rank_quantile(std::move(v), q);
 }
 
 void seal_digest(DeploymentOutcome& out) {

@@ -24,6 +24,13 @@ class Assignment {
   NodeId node_of(UnitId u) const;
   std::size_t num_units() const { return map_.size(); }
 
+  /// The raw unit->node map in UnitId order.  This vector is the whole
+  /// portable state of an assignment: rebinding it to another UnitGraph
+  /// built from the same network/shape (via the constructor) reproduces
+  /// the assignment exactly — how zeiot::serve's plan cache stores search
+  /// results without keeping the source graph or topology alive.
+  const std::vector<NodeId>& unit_map() const { return map_; }
+
   /// Number of units hosted per node (indexed by NodeId).
   std::vector<std::size_t> units_per_node(std::size_t num_nodes) const;
   /// Largest per-node unit count.

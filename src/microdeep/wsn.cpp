@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <queue>
 
 namespace zeiot::microdeep {
@@ -179,6 +180,34 @@ NodeId WsnTopology::next_hop(NodeId from, NodeId to) const {
   ZEIOT_CHECK(from < positions_.size() && to < positions_.size());
   ZEIOT_CHECK_MSG(from != to, "next_hop requires from != to");
   return next_hop_[to][from];
+}
+
+std::uint64_t WsnTopology::digest() const {
+  // FNV-1a over 64-bit words, byte by byte — the same scheme as the trace,
+  // span and fleet digests, so all of them compose into one identity.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t word) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (word >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  const auto mix_bits = [&mix](double d) {
+    std::uint64_t u;
+    std::memcpy(&u, &d, sizeof(u));
+    mix(u);
+  };
+  mix(static_cast<std::uint64_t>(positions_.size()));
+  for (const Point2D& p : positions_) {
+    mix_bits(p.x);
+    mix_bits(p.y);
+  }
+  mix_bits(area_.x0);
+  mix_bits(area_.y0);
+  mix_bits(area_.x1);
+  mix_bits(area_.y1);
+  mix_bits(comm_radius_);
+  return h;
 }
 
 double WsnTopology::mean_degree() const {

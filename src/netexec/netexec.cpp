@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/stats.hpp"
 #include "sim/simulator.hpp"
 
 namespace zeiot::netexec {
@@ -644,7 +645,16 @@ NetEvalResult NetworkExecutor::evaluate(const ml::Dataset& data,
                   "RNG is call-order coupled); use run()");
   const std::size_t n =
       max_samples > 0 ? std::min(max_samples, data.size()) : data.size();
-  ZEIOT_CHECK_MSG(n > 0, "evaluate() needs at least one sample");
+  if (n == 0) {
+    // Zero-sample population (everything upstream shed or terminated, or an
+    // empty dataset): every aggregate is a defined zero.  Dividing by n or
+    // indexing the latency vectors here was the crash path this guards.
+    NetEvalResult empty;
+    if (cfg_.obs != nullptr) {
+      cfg_.obs->metrics().counter("netexec.eval.samples").inc(0.0);
+    }
+    return empty;
+  }
 
   // One independent simulation per sample into its own slot; aggregation
   // below runs on the calling thread in index order, so the result is
@@ -698,11 +708,10 @@ NetEvalResult NetworkExecutor::evaluate(const ml::Dataset& data,
     ev.messages += r.messages;
     ev.frames_lost += r.frames_lost;
   }
-  auto pct = [n](std::vector<double> v, double q) {
-    std::sort(v.begin(), v.end());
-    const auto idx = static_cast<std::size_t>(
-        std::llround(q * static_cast<double>(n - 1)));
-    return v[std::min(idx, n - 1)];
+  // Shared nearest-rank convention (common/stats.hpp) — also used by the
+  // fleet aggregator and tools/obs_report.py.
+  const auto pct = [](std::vector<double> v, double q) {
+    return nearest_rank_quantile(std::move(v), q);
   };
   ev.accuracy = static_cast<double>(correct) / static_cast<double>(n);
   ev.p50_latency_s = pct(lat, 0.50);

@@ -25,6 +25,9 @@ const char* span_kind_name(SpanKind kind) {
     case SpanKind::TrainEpoch: return "train_epoch";
     case SpanKind::TrainShard: return "train_shard";
     case SpanKind::Region: return "region";
+    case SpanKind::ServeRequest: return "serve_request";
+    case SpanKind::ServeQueue: return "serve_queue";
+    case SpanKind::ServeService: return "serve_service";
   }
   return "unknown";
 }

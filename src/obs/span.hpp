@@ -60,6 +60,13 @@ enum class SpanKind : std::uint8_t {
   TrainShard,     // a = shard index, b = batch index
   // Generic profiled region (a = region id in the profiler registry).
   Region,
+  // Serving front-end request path (zeiot::serve).  One root per served
+  // request on the virtual arrival clock, tiled exactly by its two phase
+  // children: queue wait (admission -> batch dispatch) + batch service
+  // (dispatch -> completion) == request latency.
+  ServeRequest,   // root: one served request (a = route, b = batch seq)
+  ServeQueue,     // admission-to-dispatch wait (a = route)
+  ServeService,   // batched execution window (a = route, b = batch size)
 };
 
 /// Stable lowercase name used in all exports.

@@ -120,7 +120,33 @@ std::vector<double> capture_sample(const PatternParams& pp, Point2D position,
   return acc;
 }
 
+/// Shared capture loop: `rng` advances exactly as run_localization's
+/// pre-split phase always did, so factoring this out changed no bits.
+LocalizationCaptures capture_into(const PatternParams& pp,
+                                  const LocalizationConfig& cfg, Rng& rng) {
+  const auto positions = default_positions(pp.env, cfg.num_positions);
+  LocalizationCaptures caps;
+  for (int p = 0; p < cfg.num_positions; ++p) {
+    for (int f = 0; f < cfg.frames_per_position; ++f) {
+      caps.x.push_back(
+          capture_sample(pp, positions[static_cast<std::size_t>(p)], rng));
+      caps.y.push_back(p);
+    }
+  }
+  return caps;
+}
+
 }  // namespace
+
+LocalizationCaptures capture_localization_dataset(
+    const phy::CsiEnvironment& base_env, const Pattern& pattern,
+    const LocalizationConfig& cfg) {
+  ZEIOT_CHECK_MSG(cfg.num_positions >= 2, "need >= 2 positions");
+  ZEIOT_CHECK_MSG(cfg.frames_per_position >= 4, "need >= 4 frames/position");
+  const PatternParams pp = apply_pattern(base_env, pattern);
+  Rng rng(cfg.seed);
+  return capture_into(pp, cfg, rng);
+}
 
 LocalizationResult run_localization(const phy::CsiEnvironment& base_env,
                                     const Pattern& pattern,
@@ -128,18 +154,9 @@ LocalizationResult run_localization(const phy::CsiEnvironment& base_env,
   ZEIOT_CHECK_MSG(cfg.num_positions >= 2, "need >= 2 positions");
   ZEIOT_CHECK_MSG(cfg.frames_per_position >= 4, "need >= 4 frames/position");
   const PatternParams pp = apply_pattern(base_env, pattern);
-  const auto positions = default_positions(pp.env, cfg.num_positions);
 
   Rng rng(cfg.seed);
-  ml::FeatureMatrix x;
-  ml::LabelVector y;
-  for (int p = 0; p < cfg.num_positions; ++p) {
-    for (int f = 0; f < cfg.frames_per_position; ++f) {
-      x.push_back(
-          capture_sample(pp, positions[static_cast<std::size_t>(p)], rng));
-      y.push_back(p);
-    }
-  }
+  auto [x, y] = capture_into(pp, cfg, rng);
 
   // Shuffled split.
   const auto order = rng.permutation(x.size());

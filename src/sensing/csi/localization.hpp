@@ -60,6 +60,21 @@ struct LocalizationResult {
 std::vector<Point2D> default_positions(const phy::CsiEnvironment& env,
                                        int num_positions);
 
+/// Labelled classifier-facing captures of one pattern: x[i] is the
+/// circular (cos, sin) embedding of one averaged feedback burst, y[i] the
+/// position label.  These are exactly the samples run_localization draws
+/// before its train/test split — exposed so a serving front-end
+/// (zeiot::serve) can train on one capture set and keep another as its
+/// request pool.
+struct LocalizationCaptures {
+  ml::FeatureMatrix x;
+  ml::LabelVector y;
+};
+
+LocalizationCaptures capture_localization_dataset(
+    const phy::CsiEnvironment& base_env, const Pattern& pattern,
+    const LocalizationConfig& cfg);
+
 /// Runs capture -> feature extraction -> train/test for one pattern.
 LocalizationResult run_localization(const phy::CsiEnvironment& base_env,
                                     const Pattern& pattern,

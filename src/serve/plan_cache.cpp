@@ -1,0 +1,46 @@
+#include "serve/plan_cache.hpp"
+
+#include "common/error.hpp"
+
+namespace zeiot::serve {
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
+  ZEIOT_CHECK_MSG(capacity_ >= 1, "plan cache capacity must be >= 1");
+}
+
+PlanCache::Ensured PlanCache::ensure(
+    std::uint64_t digest, const std::function<CachedPlan()>& build) {
+  const auto it = index_.find(digest);
+  if (it != index_.end()) {
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return {&*it->second, true};
+  }
+  ++misses_;
+  if (order_.size() >= capacity_) {
+    const auto victim = std::prev(order_.end());
+    index_.erase(victim->topology_digest);
+    order_.erase(victim);
+    ++evictions_;
+  }
+  CachedPlan plan = build();
+  ZEIOT_CHECK_MSG(plan.topology_digest == digest,
+                  "plan builder returned digest " << plan.topology_digest
+                                                  << " for key " << digest);
+  order_.push_front(std::move(plan));
+  index_.emplace(digest, order_.begin());
+  return {&order_.front(), false};
+}
+
+const CachedPlan* PlanCache::find(std::uint64_t digest) const {
+  const auto it = index_.find(digest);
+  return it == index_.end() ? nullptr : &*it->second;
+}
+
+double PlanCache::hit_rate() const {
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+}  // namespace zeiot::serve

@@ -1,0 +1,102 @@
+// LRU cache of unit-assignment search results, keyed by the canonical
+// WsnTopology::digest().
+//
+// The assignment search (microdeep/search.hpp) is the expensive step of
+// bringing up a context-recognition deployment: a portfolio of heuristic
+// candidates scored by full communication-cost evaluations.  A serving
+// front-end sees the same few deployments over and over — every request
+// against a structurally identical topology can reuse the plan found the
+// first time.  Two rules make that reuse safe:
+//
+//  * the KEY is the topology's structural digest.  Equal digests mean
+//    bitwise-identical deployments (positions, area, radius), so a cached
+//    plan applies to a topology REBUILT from the same seed/parameters —
+//    the cache never needs the original WsnTopology object alive;
+//  * the VALUE is only the portable state of the search result: the raw
+//    unit->node map plus its scores.  No pointer into the source graph or
+//    topology is retained (Assignment holds a UnitGraph*, so caching an
+//    Assignment directly would dangle the moment the search-time graph
+//    dies).  `CachedPlan::bind()` reconstructs an Assignment against
+//    whatever long-lived graph the route owns.
+//
+// Determinism: lookup order is driven by the (deterministic) request
+// stream, the LRU list evolves as a pure function of that order, and the
+// builder itself is the deterministic search — so hit/miss/eviction
+// counts are bit-identical across reruns and worker counts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+
+#include "microdeep/assignment.hpp"
+
+namespace zeiot::serve {
+
+/// The portable result of one assignment search: everything needed to
+/// re-apply the winning plan to a structurally identical deployment,
+/// nothing that ties it to the objects the search ran against.
+struct CachedPlan {
+  /// WsnTopology::digest() of the deployment this plan was searched for.
+  std::uint64_t topology_digest = 0;
+  /// Winning unit->node map in UnitId order (Assignment::unit_map()).
+  std::vector<microdeep::NodeId> unit_to_node;
+  /// Scores of the winning candidate (peak / mean per-node comm cost).
+  double max_cost = 0.0;
+  double mean_cost = 0.0;
+  /// Portfolio size the winner was chosen from.
+  std::size_t candidates = 0;
+
+  /// Rebinds the cached map to a route-owned unit graph.  `graph` must be
+  /// built from the same network/shape the plan was searched with (the
+  /// Assignment constructor checks the unit count).  The returned
+  /// Assignment points into `graph`, never into cache storage.
+  microdeep::Assignment bind(const microdeep::UnitGraph& graph) const {
+    return microdeep::Assignment(&graph, unit_to_node);
+  }
+};
+
+/// Bounded LRU map digest -> CachedPlan.  Not thread-safe (one per
+/// server, like MetricsRegistry).
+class PlanCache {
+ public:
+  /// `capacity` >= 1: the number of plans retained.
+  explicit PlanCache(std::size_t capacity);
+
+  struct Ensured {
+    /// Valid until a later ensure() evicts this entry (never the call
+    /// that returned it: the just-used entry is most-recently-used).
+    const CachedPlan* plan = nullptr;
+    bool hit = false;
+  };
+
+  /// Returns the cached plan for `digest`, building (and caching) it via
+  /// `build` on a miss.  A miss at capacity evicts the least-recently-used
+  /// plan.  `build` must return a plan whose topology_digest == digest.
+  Ensured ensure(std::uint64_t digest,
+                 const std::function<CachedPlan()>& build);
+
+  /// Lookup without building or touching LRU order (tests / inspection).
+  const CachedPlan* find(std::uint64_t digest) const;
+
+  std::size_t size() const { return order_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  /// hits / (hits + misses); 0 before any lookup.
+  double hit_rate() const;
+
+ private:
+  std::size_t capacity_;
+  /// Front = most recently used.  std::list keeps node addresses stable,
+  /// so Ensured::plan survives later splices (only eviction invalidates).
+  std::list<CachedPlan> order_;
+  std::unordered_map<std::uint64_t, std::list<CachedPlan>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace zeiot::serve

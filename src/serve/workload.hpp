@@ -1,0 +1,48 @@
+// Open-loop workload synthesis for the serving front-end: a Poisson
+// arrival process modulated two ways —
+//
+//  * diurnal: the instantaneous rate follows a sinusoid around the mean
+//    (the day/night swing of a deployed building's request traffic);
+//  * bursty: a Markov-modulated on/off burst state multiplies the rate
+//    while active (a fleet of sensors phase-locking after an event).
+//
+// Requests draw their route from a fixed mix and their payload uniformly
+// from the route's request pool (the fixed-seed datagen sample pools of
+// routes.hpp) — the serving tier sees the same synthetic distributions the
+// experiment benches generate, just behind an arrival process.  The whole
+// stream is a pure function of (config, pool sizes): deterministic,
+// sorted by arrival, ids dense.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "serve/serve.hpp"
+
+namespace zeiot::serve {
+
+struct WorkloadConfig {
+  std::size_t num_requests = 20000;
+  /// Mean arrival rate of the unmodulated process.
+  double mean_rate_per_s = 120000.0;
+  /// rate(t) = mean * (1 + amplitude * sin(2 pi t / period)), floored at
+  /// (1 - amplitude); amplitude in [0, 1).
+  double diurnal_amplitude = 0.6;
+  double diurnal_period_s = 0.5;
+  /// Burst state: entered with `burst_prob` per arrival, lasting
+  /// ~`burst_len` arrivals, multiplying the rate by `burst_speedup`.
+  double burst_prob = 0.004;
+  int burst_len = 64;
+  double burst_speedup = 6.0;
+  /// Route mix (normalized internally).  Defaults favour the cheap
+  /// NB routes, with the CNN and kNN routes as a costly minority.
+  std::array<double, kNumRoutes> route_mix{0.04, 0.04, 0.24, 0.58, 0.10};
+  std::uint64_t seed = 7;
+};
+
+/// Synthesizes the arrival stream against `routes` (pool sizes and variant
+/// counts bound the per-request draws).
+std::vector<Request> generate_workload(const WorkloadConfig& cfg,
+                                       const RouteSet& routes);
+
+}  // namespace zeiot::serve

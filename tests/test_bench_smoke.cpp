@@ -231,4 +231,14 @@ TEST(BenchSmoke, A8FleetSeedSweep) {
                   "perf.a8.fleet.items_per_s"});
 }
 
+// The serving bench must report the request accounting, the plan-cache
+// hit rate, and the headline requests/wall-second throughput gauge
+// (perf.a9.serve.items_per_s).
+TEST(BenchSmoke, A9ServeSeedSweep) {
+  run_seed_sweep("bench_a9_serve",
+                 {"serve.offered", "serve.served", "serve.shed",
+                  "serve.rejected", "serve.plan_cache.hit_rate",
+                  "perf.a9.serve.wall_s", "perf.a9.serve.items_per_s"});
+}
+
 }  // namespace

@@ -221,6 +221,41 @@ TEST(NetexecConformance, EvaluateBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(ra.frames_lost, rb.frames_lost);
 }
 
+TEST(NetexecConformance, EvaluateZeroSamplesReturnsDefinedZeros) {
+  Scenario s = make_scenario(5);
+  obs::Observability o;
+  NetExecConfig cfg;
+  cfg.channel.loss_per_hop = 0.1;
+  cfg.seed = 7;
+  cfg.obs = &o;
+  NetworkExecutor exec(s.net, s.graph, s.assignment, s.wsn, cfg);
+
+  // An empty dataset must aggregate to defined zeros — no division by the
+  // sample count, no percentile over an empty population, no indexing.
+  const NetEvalResult r = exec.evaluate(ml::Dataset{});
+  EXPECT_EQ(r.samples, 0u);
+  EXPECT_EQ(r.accuracy, 0.0);
+  EXPECT_EQ(r.p50_latency_s, 0.0);
+  EXPECT_EQ(r.p99_latency_s, 0.0);
+  EXPECT_EQ(r.mean_energy_j, 0.0);
+  EXPECT_EQ(r.degraded_fraction, 0.0);
+  EXPECT_EQ(r.mean_retransmissions, 0.0);
+  EXPECT_EQ(r.messages, 0u);
+  EXPECT_EQ(r.frames_lost, 0u);
+  EXPECT_TRUE(r.latencies_s.empty());
+  EXPECT_EQ(r.p50_breakdown.compute_s, 0.0);
+  EXPECT_EQ(r.p99_breakdown.idle_s, 0.0);
+  // The sample counter exists (at zero) so dashboards see the eval ran.
+  EXPECT_TRUE(o.metrics().has("netexec.eval.samples"));
+  EXPECT_EQ(o.metrics().counter_value("netexec.eval.samples"), 0.0);
+
+  // A subsequent non-empty evaluate on the same executor still works.
+  ml::Dataset data;
+  data.add(random_sample(s.shape, 321), 0);
+  const NetEvalResult r2 = exec.evaluate(data);
+  EXPECT_EQ(r2.samples, 1u);
+}
+
 /// Lossy evaluate() with spans on: returns the populated context so tests
 /// can inspect the merged span stream.
 std::unique_ptr<obs::Observability> spanning_evaluate(Scenario& s,

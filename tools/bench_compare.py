@@ -4,7 +4,9 @@
 Compares the perf.* gauge series emitted by the bench binaries
 (perf.<key>.wall_s / perf.<key>.items_per_s), the span-derived latency
 attribution gauges (netexec.breakdown.{compute,airtime,retry,idle}_{p50,
-p99}_s), and the tracing-overhead ratios (obs.overhead.*_ratio):
+p99}_s), the tracing-overhead ratios (obs.overhead.*_ratio), and the
+serving gauges (serve.plan_cache.hit_rate, smaller is worse; the
+serve.slo.<route>.{p50,p99}_s virtual latencies, bigger is worse):
 
     tools/bench_compare.py baseline.metrics.json current.metrics.json
 
@@ -28,7 +30,7 @@ import sys
 ACCEPTED_SCHEMAS = ("zeiot.obs.v1", "zeiot.obs.v2")
 
 # Gauge prefixes diffed between runs, beyond validity checks.
-COMPARED_PREFIXES = ("perf.", "netexec.breakdown.", "obs.overhead.")
+COMPARED_PREFIXES = ("perf.", "netexec.breakdown.", "obs.overhead.", "serve.")
 
 
 def load_compared_gauges(path):
@@ -69,10 +71,11 @@ def main():
         b, c = base[name], cur[name]
         if b <= 0:
             continue
-        # items_per_s: smaller is worse (checked first — it also ends in
-        # `_s`).  wall_s / virtual-second breakdowns / overhead ratios:
-        # bigger is worse.
-        if name.endswith(".items_per_s"):
+        # items_per_s and hit/served rates: smaller is worse (checked first
+        # — items_per_s also ends in `_s`, and `_rate` must not fall through
+        # to the `_ratio` polarity).  wall_s / virtual-second breakdowns /
+        # SLO latencies / overhead ratios: bigger is worse.
+        if name.endswith((".items_per_s", "_rate")):
             rel = (b - c) / b
         elif name.endswith(("_s", "_ratio")):
             rel = (c - b) / b

@@ -234,6 +234,31 @@ class TestBenchCompare(ReportFixtureMixin, unittest.TestCase):
                                  self.v2_current(ips=200.0))
         self.assertEqual(code, 0, out)
 
+    def test_serve_gauges_are_compared_with_rate_polarity(self):
+        # serve.plan_cache.hit_rate shrinking is a regression (rate polarity,
+        # not the _ratio "bigger is worse" one); an SLO latency growing is
+        # too (virtual seconds, so any drift is behavioral).
+        base = self.v1_baseline()
+        base["metrics"]["gauges"]["serve.plan_cache.hit_rate"] = 0.99
+        base["metrics"]["gauges"]["serve.slo.e4_room_count.p99_s"] = 0.001
+        cur = self.v2_current()
+        cur["metrics"]["gauges"]["serve.plan_cache.hit_rate"] = \
+            {"value": 0.50}
+        cur["metrics"]["gauges"]["serve.slo.e4_room_count.p99_s"] = \
+            {"value": 0.001}
+        code, out = self.compare(base, cur)
+        self.assertEqual(code, 1, out)
+        self.assertIn("serve.plan_cache.hit_rate", out)
+        # Restoring the hit rate and growing the SLO latency flips which
+        # gauge regresses.
+        cur["metrics"]["gauges"]["serve.plan_cache.hit_rate"] = \
+            {"value": 0.99}
+        cur["metrics"]["gauges"]["serve.slo.e4_room_count.p99_s"] = \
+            {"value": 0.002}
+        code, out = self.compare(base, cur)
+        self.assertEqual(code, 1, out)
+        self.assertIn("serve.slo.e4_room_count.p99_s", out)
+
     def test_warn_only_downgrades_regressions(self):
         code, out = self.compare(self.v1_baseline(wall=1.0),
                                  self.v2_current(wall=1.5), "--warn-only")
