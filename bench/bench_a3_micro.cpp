@@ -11,6 +11,7 @@
 
 #include "bench_report.hpp"
 #include "microdeep/comm_cost.hpp"
+#include "ml/kernels/backend.hpp"
 #include "ml/kernels/gemm.hpp"
 #include "ml/kernels/im2col.hpp"
 #include "ml/kernels/reference.hpp"
@@ -353,6 +354,35 @@ int main(int argc, char** argv) {
                              },
                              200),
                          2.0 * gm * gn * gk);
+      // Per-backend SGEMM throughput: one perf.a3.gemm.<backend>.gflops
+      // gauge per backend the dispatcher can actually run on this host, so
+      // tools/bench_compare can diff scalar vs SIMD run over run.  A larger
+      // shape than the conv geometry (64 x 144 x 425 — sixteen stacked
+      // conv panels) amortizes per-call overhead into a stable rate.
+      {
+        const int bm = 64, bk = 144, bn = 425;
+        const ml::Tensor ba = random_tensor({bm, bk}, 13);
+        const ml::Tensor bb = random_tensor({bk, bn}, 14);
+        std::vector<float> bc(static_cast<std::size_t>(bm) * bn, 0.0f);
+        const double flops = 2.0 * bm * bn * bk;
+        for (const auto kind :
+             {ml::kernels::BackendKind::Scalar, ml::kernels::BackendKind::Avx2,
+              ml::kernels::BackendKind::Neon}) {
+          if (!ml::kernels::backend_available(kind)) continue;
+          ml::kernels::ScopedBackend pin(kind);
+          const double wall = bench::time_workload(
+              [&] {
+                ml::kernels::sgemm_accum(bm, bn, bk, ba.data(), bk, bb.data(),
+                                         bn, bc.data(), bn);
+              },
+              100);
+          obs.metrics()
+              .gauge(std::string("perf.a3.gemm.") +
+                     ml::kernels::backend_name(kind) + ".gflops")
+              .set(flops / wall / 1e9);
+        }
+      }
+
       const ml::Tensor ix = random_tensor({4, 17, 25}, 11);
       std::vector<float> cols(static_cast<std::size_t>(4 * 3 * 3) * 17 * 25);
       bench::record_perf(obs, "im2col",

@@ -10,6 +10,7 @@
 // This bench regenerates both rows: the standard CNN (optimal
 // hyperparameters, everything at a sink node) and MicroDeep (feasible
 // hyperparameters, heuristic balanced assignment, node-local updates).
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 
@@ -17,6 +18,8 @@
 #include "common/table.hpp"
 #include "datagen/temperature_field.hpp"
 #include "microdeep/distributed.hpp"
+#include "microdeep/memory.hpp"
+#include "microdeep/quant.hpp"
 #include "netexec/netexec.hpp"
 
 using namespace zeiot;
@@ -57,6 +60,9 @@ struct RunResult {
   double accuracy = 0.0;
   microdeep::CommCostReport cost;
   netexec::NetEvalResult netexec;  // filled only when netexec_obs != nullptr
+  netexec::NetEvalResult quant;    // same replay over 1-byte int8 frames
+  std::size_t peak_memory_float = 0;  // peak per-node residency, 4-byte model
+  std::size_t peak_memory_int8 = 0;   // same assignment, 1-byte model
 };
 
 /// Trains one variant and, when `netexec_obs` is set, replays the trained
@@ -82,6 +88,35 @@ RunResult run(ml::Network net, const WsnTopology& wsn,
     netexec::NetworkExecutor exec(net, model.unit_graph(), model.assignment(),
                                   model.wsn(), ncfg);
     res.netexec = exec.evaluate(test, nullptr, netexec_samples);
+
+    // Quantized-transport row: identical trained model and channel seed
+    // (paired per-frame loss draws), but every inter-node frame carries one
+    // byte per channel on a grid calibrated over the training set.  obs
+    // stays with the float row, which owns the netexec.* gauges.
+    std::vector<std::size_t> idx(std::min<std::size_t>(train.size(), 64));
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    const auto [calib, calib_labels] = train.batch(idx);
+    netexec::NetExecConfig qcfg = ncfg;
+    qcfg.obs = nullptr;
+    qcfg.quantized_transport = true;
+    qcfg.act_scales =
+        microdeep::calibrate_unit_activation_scales(net, model.unit_graph(),
+                                                    calib);
+    netexec::NetworkExecutor qexec(net, model.unit_graph(), model.assignment(),
+                                   model.wsn(), qcfg);
+    res.quant = qexec.evaluate(test, nullptr, netexec_samples);
+
+    // Peak per-node residency of the deployed assignment under the 4-byte
+    // (float) and 1-byte (int8) memory models — the budget search_assignment
+    // enforces when AssignmentSearchOptions::memory is enabled.
+    const auto fm = microdeep::make_node_memory_model(net, model.unit_graph(),
+                                                      4, 4, 0);
+    const auto qm = microdeep::make_node_memory_model(net, model.unit_graph(),
+                                                      1, 1, 0);
+    res.peak_memory_float = microdeep::peak_node_memory(
+        model.assignment(), model.wsn().num_nodes(), fm);
+    res.peak_memory_int8 = microdeep::peak_node_memory(
+        model.assignment(), model.wsn().num_nodes(), qm);
   }
   return res;
 }
@@ -163,6 +198,7 @@ int main(int argc, char** argv) {
   // Network-in-the-loop row: the same trained MicroDeep model executed over
   // the event-driven 802.15.4 channel (1% per-hop loss, ARQ retries).
   const auto& nx = microdeep_r.netexec;
+  const auto& qx = microdeep_r.quant;
   Table nt({"system", "accuracy", "p50 latency (ms)", "p99 latency (ms)",
             "energy/inference (uJ)", "degraded"});
   nt.add_row({"MicroDeep over 802.15.4 (netexec)", Table::pct(nx.accuracy),
@@ -170,7 +206,18 @@ int main(int argc, char** argv) {
               Table::num(nx.p99_latency_s * 1e3, 2),
               Table::num(nx.mean_energy_j * 1e6, 2),
               Table::pct(nx.degraded_fraction)});
+  nt.add_row({"MicroDeep over 802.15.4 (int8 frames)", Table::pct(qx.accuracy),
+              Table::num(qx.p50_latency_s * 1e3, 2),
+              Table::num(qx.p99_latency_s * 1e3, 2),
+              Table::num(qx.mean_energy_j * 1e6, 2),
+              Table::pct(qx.degraded_fraction)});
   nt.print(std::cout);
+  std::cout << "int8 transport: accuracy delta "
+            << Table::pct(nx.accuracy - qx.accuracy) << ", energy "
+            << Table::pct(qx.mean_energy_j / nx.mean_energy_j)
+            << " of float; peak node memory "
+            << microdeep_r.peak_memory_float << " B float -> "
+            << microdeep_r.peak_memory_int8 << " B int8\n";
 
   // Root-span latency attribution (phases tile each inference's root span,
   // so every column sums to the corresponding latency percentile).
@@ -194,6 +241,24 @@ int main(int argc, char** argv) {
   obs.metrics()
       .gauge("bench.e1.max_cost_vs_standard")
       .set(microdeep_r.cost.max_cost / standard_max);
+  obs.metrics().gauge("bench.e1.quant.accuracy").set(qx.accuracy);
+  obs.metrics()
+      .gauge("bench.e1.quant.accuracy_delta")
+      .set(nx.accuracy - qx.accuracy);
+  obs.metrics()
+      .gauge("bench.e1.quant.energy_per_inference_j")
+      .set(qx.mean_energy_j);
+  if (nx.mean_energy_j > 0.0) {
+    obs.metrics()
+        .gauge("bench.e1.quant.energy_vs_float_ratio")
+        .set(qx.mean_energy_j / nx.mean_energy_j);
+  }
+  obs.metrics()
+      .gauge("bench.e1.peak_node_memory_float_bytes")
+      .set(static_cast<double>(microdeep_r.peak_memory_float));
+  obs.metrics()
+      .gauge("bench.e1.peak_node_memory_int8_bytes")
+      .set(static_cast<double>(microdeep_r.peak_memory_int8));
   bench::write_bench_report("bench_e1_microdeep_temperature", obs);
   return 0;
 }

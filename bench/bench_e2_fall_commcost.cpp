@@ -13,6 +13,7 @@
 //       peak traffic.
 // Both variants are *distributed over the array*; they differ in the
 // hyperparameters and in how units are placed.
+#include <algorithm>
 #include <iostream>
 
 #include "bench_report.hpp"
@@ -20,6 +21,7 @@
 #include "common/table.hpp"
 #include "datagen/ir_gait.hpp"
 #include "microdeep/distributed.hpp"
+#include "microdeep/quant.hpp"
 #include "netexec/netexec.hpp"
 
 using namespace zeiot;
@@ -64,6 +66,7 @@ struct VariantResult {
   RunningStats accuracy;
   microdeep::CommCostReport cost;
   netexec::NetEvalResult netexec;  // heuristic variant, trial 0 only
+  netexec::NetEvalResult quant;    // same replay over 1-byte int8 frames
 };
 
 }  // namespace
@@ -127,6 +130,21 @@ int main(int argc, char** argv) {
         netexec::NetworkExecutor exec(net, model.unit_graph(),
                                       model.assignment(), model.wsn(), ncfg);
         res.netexec = exec.evaluate(test, nullptr, netexec_samples);
+
+        // Quantized-transport replay: same model, same channel seed (paired
+        // loss draws), 1-byte int8 frames on a training-set-calibrated
+        // grid.  No obs — the float row owns the netexec.* gauges.
+        std::vector<std::size_t> idx(std::min<std::size_t>(train.size(), 64));
+        for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+        const auto [calib, calib_labels] = train.batch(idx);
+        netexec::NetExecConfig qcfg = ncfg;
+        qcfg.obs = nullptr;
+        qcfg.quantized_transport = true;
+        qcfg.act_scales = microdeep::calibrate_unit_activation_scales(
+            net, model.unit_graph(), calib);
+        netexec::NetworkExecutor qexec(net, model.unit_graph(),
+                                       model.assignment(), model.wsn(), qcfg);
+        res.quant = qexec.evaluate(test, nullptr, netexec_samples);
       }
     }
     return res;
@@ -164,7 +182,17 @@ int main(int argc, char** argv) {
               Table::num(b.netexec.p99_latency_s * 1e3, 2),
               Table::num(b.netexec.mean_energy_j * 1e6, 2),
               Table::pct(b.netexec.degraded_fraction)});
+  nt.add_row({"heuristic model over 802.15.4 (int8 frames)",
+              Table::pct(b.quant.accuracy),
+              Table::num(b.quant.p50_latency_s * 1e3, 2),
+              Table::num(b.quant.p99_latency_s * 1e3, 2),
+              Table::num(b.quant.mean_energy_j * 1e6, 2),
+              Table::pct(b.quant.degraded_fraction)});
   nt.print(std::cout);
+  std::cout << "int8 transport: accuracy delta "
+            << Table::pct(b.netexec.accuracy - b.quant.accuracy) << ", energy "
+            << Table::pct(b.quant.mean_energy_j / b.netexec.mean_energy_j)
+            << " of float\n";
 
   // Root-span latency attribution: where each inference's wall (virtual)
   // time went, per percentile.  The four phases tile the root span, so
@@ -191,6 +219,18 @@ int main(int argc, char** argv) {
   obs.metrics()
       .gauge("bench.e2.peak_cost_vs_optimal")
       .set(b.cost.max_cost / a.cost.max_cost);
+  obs.metrics().gauge("bench.e2.quant.accuracy").set(b.quant.accuracy);
+  obs.metrics()
+      .gauge("bench.e2.quant.accuracy_delta")
+      .set(b.netexec.accuracy - b.quant.accuracy);
+  obs.metrics()
+      .gauge("bench.e2.quant.energy_per_inference_j")
+      .set(b.quant.mean_energy_j);
+  if (b.netexec.mean_energy_j > 0.0) {
+    obs.metrics()
+        .gauge("bench.e2.quant.energy_vs_float_ratio")
+        .set(b.quant.mean_energy_j / b.netexec.mean_energy_j);
+  }
   bench::write_bench_report("bench_e2_fall_commcost", obs);
   return 0;
 }

@@ -1,0 +1,39 @@
+#include "microdeep/quant.hpp"
+
+#include "common/error.hpp"
+#include "ml/quantize.hpp"
+
+namespace zeiot::microdeep {
+
+std::vector<float> calibrate_unit_activation_scales(
+    ml::Network& net, const UnitGraph& graph, const ml::Tensor& calibration,
+    int max_samples) {
+  const std::vector<float> absmax =
+      ml::calibration_absmax(net, calibration, max_samples);
+  const std::size_t num_unit_layers = graph.layers().size();
+  ZEIOT_CHECK_MSG(num_unit_layers >= 1, "unit graph has no layers");
+
+  // Producing net layer per unit layer (unit layer 0 is the input itself).
+  std::vector<std::size_t> producer(num_unit_layers, 0);
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    const int ul = graph.unit_layer_of_net_layer(li);
+    if (ul > 0) producer[static_cast<std::size_t>(ul)] = li;
+  }
+
+  // Unit layer k transmits the values consumed by the net layer producing
+  // unit layer k+1 — absmax boundary `producer[k+1]` (boundary i is the
+  // input of net layer i).  The last unit layer transmits the network
+  // output: the final boundary.  For k=0 this reduces to the raw input
+  // (producer[1] is the first net layer, whose input boundary is 0).
+  std::vector<float> scales(num_unit_layers, 1.0f);
+  for (std::size_t k = 0; k < num_unit_layers; ++k) {
+    const std::size_t boundary =
+        (k + 1 < num_unit_layers) ? producer[k + 1] : absmax.size() - 1;
+    ZEIOT_CHECK_MSG(boundary < absmax.size(), "calibration boundary overflow");
+    const float am = absmax[boundary];
+    scales[k] = am > 0.0f ? am / 127.0f : 1.0f;
+  }
+  return scales;
+}
+
+}  // namespace zeiot::microdeep

@@ -1,0 +1,27 @@
+// Maps static int8 activation calibration onto unit layers.
+//
+// netexec's quantized transport sends every unit activation as ONE byte on
+// the symmetric int8 grid; the grid's scale per unit layer comes from the
+// same calibration pass QuantizedNetwork uses (absmax over a calibration
+// batch through the float network).  A unit layer's transmitted values are
+// the values the NEXT unit-producing net layer consumes — i.e. after any
+// folded elementwise layers (ReLU, Flatten, Dropout) have been applied —
+// matching exactly what the executor moves between nodes.
+#pragma once
+
+#include <vector>
+
+#include "microdeep/unit_graph.hpp"
+#include "ml/tensor.hpp"
+
+namespace zeiot::microdeep {
+
+/// Per-unit-layer activation scales (scale = absmax/127, 1.0 for all-zero
+/// boundaries), indexed like graph.layers().  Runs the float network over
+/// (up to max_samples of) `calibration`.
+std::vector<float> calibrate_unit_activation_scales(ml::Network& net,
+                                                    const UnitGraph& graph,
+                                                    const ml::Tensor& calibration,
+                                                    int max_samples = 64);
+
+}  // namespace zeiot::microdeep

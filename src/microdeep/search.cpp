@@ -64,7 +64,9 @@ AssignmentSearchResult search_assignment(const UnitGraph& graph,
 
   struct Scored {
     Assignment assignment;
-    std::optional<CommCostReport> report;  // nullopt = abandoned early
+    std::optional<CommCostReport> report;  // nullopt = abandoned/rejected
+    bool over_budget = false;
+    std::size_t peak_memory_bytes = 0;
   };
   std::vector<std::optional<Scored>> scored(specs.size());
 
@@ -106,13 +108,27 @@ AssignmentSearchResult search_assignment(const UnitGraph& graph,
             return assign_balanced_heuristic_from(graph, wsn, std::move(seed),
                                                   spec.slack);
           }();
+          // Memory feasibility comes BEFORE cost scoring: an over-budget
+          // candidate must never become the early-exit incumbent (that
+          // would let an undeployable assignment suppress deployable ones).
+          std::size_t peak_mem = 0;
+          if (opts.memory.enabled()) {
+            peak_mem = peak_node_memory(a, wsn.num_nodes(), opts.memory);
+            if (peak_mem > opts.memory.node_budget_bytes) {
+              scored[i].emplace(Scored{std::move(a), std::nullopt,
+                                       /*over_budget=*/true, peak_mem});
+              return;
+            }
+          }
           // Score without obs: gauges are last-write-wins and would race;
           // the winner's numbers are published once below.  The dedup
           // scratch is reused across every candidate this worker scores.
           thread_local CommCostScratch scratch;
           auto r = compute_comm_cost_bounded(a, wsn, opts.cost_options,
                                              scratch, bound);
-          scored[i].emplace(Scored{std::move(a), std::move(r)});
+          scored[i].emplace(
+              Scored{std::move(a), std::move(r), /*over_budget=*/false,
+                     peak_mem});
         },
         opts.pool, /*grain=*/1);
     for (std::size_t i = wave; i < wave_end; ++i) {
@@ -133,6 +149,13 @@ AssignmentSearchResult search_assignment(const UnitGraph& graph,
   for (std::size_t i = 1; i < specs.size(); ++i) {
     if (cost_of(i) < cost_of(best)) best = i;
   }
+  if (!scored[best]->report.has_value() && opts.memory.enabled()) {
+    // No candidate fit: with the budget enabled, a scoreless portfolio can
+    // only mean every candidate blew the budget (aborts need a feasible
+    // incumbent to abort against).
+    throw Error("no assignment satisfies the per-node memory budget of " +
+                std::to_string(opts.memory.node_budget_bytes) + " bytes");
+  }
   ZEIOT_CHECK_MSG(scored[best]->report.has_value(),
                   "search winner cannot be an aborted candidate");
 
@@ -143,13 +166,22 @@ AssignmentSearchResult search_assignment(const UnitGraph& graph,
                              {}};
   res.candidates.reserve(specs.size());
   std::size_t aborted = 0;
+  std::size_t over_budget = 0;
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const auto& rep = scored[i]->report;
     if (rep) {
-      res.candidates.push_back(
-          {specs[i].label, rep->max_cost, rep->mean_cost, /*aborted=*/false});
+      res.candidates.push_back({specs[i].label, rep->max_cost, rep->mean_cost,
+                                /*aborted=*/false, /*over_budget=*/false,
+                                scored[i]->peak_memory_bytes});
+    } else if (scored[i]->over_budget) {
+      res.candidates.push_back({specs[i].label, kInf, kInf, /*aborted=*/false,
+                                /*over_budget=*/true,
+                                scored[i]->peak_memory_bytes});
+      ++over_budget;
     } else {
-      res.candidates.push_back({specs[i].label, kInf, kInf, /*aborted=*/true});
+      res.candidates.push_back({specs[i].label, kInf, kInf, /*aborted=*/true,
+                                /*over_budget=*/false,
+                                scored[i]->peak_memory_bytes});
       ++aborted;
     }
   }
@@ -161,6 +193,12 @@ AssignmentSearchResult search_assignment(const UnitGraph& graph,
         .set(static_cast<double>(aborted));
     m.gauge("microdeep.search.best_index").set(static_cast<double>(best));
     m.gauge("microdeep.search.best_max_cost").set(res.best_max_cost);
+    if (opts.memory.enabled()) {
+      m.gauge("microdeep.search.over_budget_candidates")
+          .set(static_cast<double>(over_budget));
+      m.gauge("microdeep.search.best_peak_memory_bytes")
+          .set(static_cast<double>(scored[best]->peak_memory_bytes));
+    }
     // Re-publish the winner's comm-cost gauges under the standard keys.
     compute_comm_cost(res.best, wsn, opts.cost_options, obs);
   }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "microdeep/comm_cost.hpp"
+#include "microdeep/memory.hpp"
 
 namespace zeiot::par {
 class ThreadPool;
@@ -38,6 +39,14 @@ struct AssignmentSearchOptions {
   std::uint64_t seed = 42;
   /// Cost model used to score candidates.
   CommCostOptions cost_options{};
+  /// Per-node memory budget (see microdeep/memory.hpp).  When enabled
+  /// (node_budget_bytes > 0), candidates whose peak per-node residency
+  /// exceeds the budget are rejected BEFORE cost scoring: they can never
+  /// become the incumbent or the winner, and their score reports
+  /// over_budget with +inf cost.  If every candidate violates the budget
+  /// the search throws zeiot::Error — an undeployable configuration is an
+  /// error, not a silently bad assignment.
+  NodeMemoryModel memory{};
   /// Worker pool (null = par::global_pool(), honours ZEIOT_THREADS).
   par::ThreadPool* pool = nullptr;
   /// Abandon a candidate as soon as its running max per-node cost exceeds
@@ -57,6 +66,11 @@ struct AssignmentCandidateScore {
   /// True when early exit abandoned this candidate; max_cost/mean_cost are
   /// then +infinity (the candidate was already worse than the incumbent).
   bool aborted = false;
+  /// True when the candidate violated the per-node memory budget; costs are
+  /// +infinity and peak_memory_bytes records the violating residency.
+  bool over_budget = false;
+  /// Peak per-node residency in bytes (0 when the budget is disabled).
+  std::size_t peak_memory_bytes = 0;
 };
 
 struct AssignmentSearchResult {

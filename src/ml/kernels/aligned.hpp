@@ -1,0 +1,58 @@
+// Minimal C++17 aligned allocator so Tensor storage and the Workspace
+// arena hand out 64-byte (cache-line / ZMM-width) aligned bases.  SIMD
+// backends still use unaligned-tolerant loads for safety, but on aligned
+// bases those decay to full-speed aligned accesses and cache-line splits
+// disappear; alignment is also a prerequisite for any future backend that
+// wants genuinely aligned intrinsics.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace zeiot::ml::kernels {
+
+inline constexpr std::size_t kTensorAlignment = 64;
+
+template <typename T, std::size_t Alignment = kTensorAlignment>
+struct AlignedAllocator {
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two >= alignof(T)");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (p == nullptr) return;
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// std::vector<float> with 64-byte-aligned storage.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, kTensorAlignment>>;
+
+}  // namespace zeiot::ml::kernels

@@ -1,6 +1,9 @@
 #include "ml/kernels/gemm.hpp"
 
 #include <algorithm>
+#include <cstdint>
+
+#include "ml/kernels/backend.hpp"
 
 namespace zeiot::ml::kernels {
 
@@ -17,6 +20,41 @@ constexpr int kBlockN = 512;
 
 void sgemm_accum(int m, int n, int k, const float* a, int lda, const float* b,
                  int ldb, float* c, int ldc) {
+  active_backend().sgemm_accum(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void sgemm_abt_accum(int m, int n, int k, const float* a, int lda,
+                     const float* b, int ldb, float* c, int ldc) {
+  active_backend().sgemm_abt_accum(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void igemm_abt_accum(int m, int n, int k, const std::int8_t* a, int lda,
+                     const std::int8_t* b, int ldb, std::int32_t* c,
+                     int ldc) {
+  active_backend().igemm_abt_accum(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void transpose(int rows, int cols, const float* src, int lds, float* dst,
+               int ldd) {
+  constexpr int kTile = 32;
+  for (int rb = 0; rb < rows; rb += kTile) {
+    const int rend = std::min(rows, rb + kTile);
+    for (int cb = 0; cb < cols; cb += kTile) {
+      const int cend = std::min(cols, cb + kTile);
+      for (int r = rb; r < rend; ++r) {
+        const float* __restrict srow = src + static_cast<std::size_t>(r) * lds;
+        for (int c = cb; c < cend; ++c) {
+          dst[static_cast<std::size_t>(c) * ldd + r] = srow[c];
+        }
+      }
+    }
+  }
+}
+
+namespace detail {
+
+void sgemm_accum_scalar(int m, int n, int k, const float* a, int lda,
+                        const float* b, int ldb, float* c, int ldc) {
   for (int kb = 0; kb < k; kb += kBlockK) {
     const int kend = std::min(k, kb + kBlockK);
     for (int jb = 0; jb < n; jb += kBlockN) {
@@ -48,8 +86,8 @@ void sgemm_accum(int m, int n, int k, const float* a, int lda, const float* b,
   }
 }
 
-void sgemm_abt_accum(int m, int n, int k, const float* a, int lda,
-                     const float* b, int ldb, float* c, int ldc) {
+void sgemm_abt_accum_scalar(int m, int n, int k, const float* a, int lda,
+                            const float* b, int ldb, float* c, int ldc) {
   for (int i = 0; i < m; ++i) {
     const float* __restrict arow = a + static_cast<std::size_t>(i) * lda;
     float* __restrict crow = c + static_cast<std::size_t>(i) * ldc;
@@ -81,21 +119,28 @@ void sgemm_abt_accum(int m, int n, int k, const float* a, int lda,
   }
 }
 
-void transpose(int rows, int cols, const float* src, int lds, float* dst,
-               int ldd) {
-  constexpr int kTile = 32;
-  for (int rb = 0; rb < rows; rb += kTile) {
-    const int rend = std::min(rows, rb + kTile);
-    for (int cb = 0; cb < cols; cb += kTile) {
-      const int cend = std::min(cols, cb + kTile);
-      for (int r = rb; r < rend; ++r) {
-        const float* __restrict srow = src + static_cast<std::size_t>(r) * lds;
-        for (int c = cb; c < cend; ++c) {
-          dst[static_cast<std::size_t>(c) * ldd + r] = srow[c];
-        }
+void igemm_abt_accum_scalar(int m, int n, int k, const std::int8_t* a,
+                            int lda, const std::int8_t* b, int ldb,
+                            std::int32_t* c, int ldc) {
+  // Exact int32 arithmetic: any evaluation order gives the same result, so
+  // the int8 kernel is bit-identical across backends by construction.
+  for (int i = 0; i < m; ++i) {
+    const std::int8_t* __restrict arow =
+        a + static_cast<std::size_t>(i) * lda;
+    std::int32_t* __restrict crow = c + static_cast<std::size_t>(i) * ldc;
+    for (int j = 0; j < n; ++j) {
+      const std::int8_t* __restrict brow =
+          b + static_cast<std::size_t>(j) * ldb;
+      std::int32_t s = 0;
+      for (int kk = 0; kk < k; ++kk) {
+        s += static_cast<std::int32_t>(arow[kk]) *
+             static_cast<std::int32_t>(brow[kk]);
       }
+      crow[j] += s;
     }
   }
 }
+
+}  // namespace detail
 
 }  // namespace zeiot::ml::kernels

@@ -1,0 +1,278 @@
+// AVX2+FMA backend row.  This translation unit is the ONLY one compiled
+// with -mavx2 -mfma (per-file COMPILE_OPTIONS in src/ml/CMakeLists.txt);
+// nothing here runs unless CPUID reported avx2+fma, so the intrinsics are
+// safe even though the rest of the build targets the baseline ISA.
+//
+// Fixed summation-order contract for this backend (a pure function of the
+// operand shapes — never of ZEIOT_THREADS — so results are bit-identical
+// across thread counts and reruns):
+//
+//   sgemm_accum     per element C[i][j]: one FMA chain in ascending k
+//                   (c = fma(a_k, b_k, c), a single rounding per term).
+//                   Which vector width covers a column (16-wide tile,
+//                   8-wide tile, masked tail) only changes WHICH LANE the
+//                   element rides in, not its arithmetic.
+//   sgemm_abt_accum per element: 8 lane accumulators over k (lane L sums
+//                   terms k ≡ L mod 8, ascending), then the fixed pairwise
+//                   lane reduce (0+4,1+5,2+6,3+7 → 02,13 → 0123…), then the
+//                   scalar k-tail terms in ascending order.
+//   igemm_abt_accum exact int32 arithmetic — bit-identical to every other
+//                   backend regardless of order.
+//
+// All loads/stores are unaligned-tolerant (loadu/maskload); Tensor and
+// Workspace hand out 64-byte-aligned bases anyway, so these decay to
+// aligned accesses on the hot paths.
+#include "ml/kernels/backend.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace zeiot::ml::kernels::detail {
+
+namespace {
+
+// Lane mask for the final j-tail (rem in [1,7]): lane L active iff L < rem.
+inline __m256i tail_mask(int rem) {
+  alignas(32) std::int32_t lanes[8];
+  for (int l = 0; l < 8; ++l) lanes[l] = l < rem ? -1 : 0;
+  return _mm256_load_si256(reinterpret_cast<const __m256i*>(lanes));
+}
+
+// Fixed pairwise horizontal sum: (0+4,1+5,2+6,3+7) → (02,13) → scalar.
+inline float hsum8(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+
+inline std::int32_t hsum8_epi32(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  __m128i s = _mm_add_epi32(lo, hi);
+  s = _mm_add_epi32(s, _mm_unpackhi_epi64(s, s));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0x55));
+  return _mm_cvtsi128_si32(s);
+}
+
+// One 4-row x 16-column register tile of sgemm_accum: C block lives in 8
+// ymm accumulators while a single ascending-k sweep streams A broadcasts
+// and two B row segments per step.
+template <int Rows>
+inline void sgemm_tile16(int k, const float* a, int lda, const float* b,
+                         int ldb, float* c, int ldc) {
+  __m256 acc[Rows][2];
+  for (int r = 0; r < Rows; ++r) {
+    float* crow = c + static_cast<std::size_t>(r) * ldc;
+    acc[r][0] = _mm256_loadu_ps(crow);
+    acc[r][1] = _mm256_loadu_ps(crow + 8);
+  }
+  for (int kk = 0; kk < k; ++kk) {
+    const float* brow = b + static_cast<std::size_t>(kk) * ldb;
+    const __m256 b0 = _mm256_loadu_ps(brow);
+    const __m256 b1 = _mm256_loadu_ps(brow + 8);
+    for (int r = 0; r < Rows; ++r) {
+      const __m256 av =
+          _mm256_broadcast_ss(a + static_cast<std::size_t>(r) * lda + kk);
+      acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < Rows; ++r) {
+    float* crow = c + static_cast<std::size_t>(r) * ldc;
+    _mm256_storeu_ps(crow, acc[r][0]);
+    _mm256_storeu_ps(crow + 8, acc[r][1]);
+  }
+}
+
+// 4-row x 8-column tile (plain or masked) for the column remainder.
+template <int Rows>
+inline void sgemm_tile8(int k, const float* a, int lda, const float* b,
+                        int ldb, float* c, int ldc, const __m256i* mask) {
+  __m256 acc[Rows];
+  for (int r = 0; r < Rows; ++r) {
+    float* crow = c + static_cast<std::size_t>(r) * ldc;
+    acc[r] = mask ? _mm256_maskload_ps(crow, *mask) : _mm256_loadu_ps(crow);
+  }
+  for (int kk = 0; kk < k; ++kk) {
+    const float* brow = b + static_cast<std::size_t>(kk) * ldb;
+    const __m256 bv =
+        mask ? _mm256_maskload_ps(brow, *mask) : _mm256_loadu_ps(brow);
+    for (int r = 0; r < Rows; ++r) {
+      const __m256 av =
+          _mm256_broadcast_ss(a + static_cast<std::size_t>(r) * lda + kk);
+      acc[r] = _mm256_fmadd_ps(av, bv, acc[r]);
+    }
+  }
+  for (int r = 0; r < Rows; ++r) {
+    float* crow = c + static_cast<std::size_t>(r) * ldc;
+    if (mask) {
+      _mm256_maskstore_ps(crow, *mask, acc[r]);
+    } else {
+      _mm256_storeu_ps(crow, acc[r]);
+    }
+  }
+}
+
+template <int Rows>
+inline void sgemm_rows(int n, int k, const float* a, int lda, const float* b,
+                       int ldb, float* c, int ldc) {
+  int j = 0;
+  for (; j + 16 <= n; j += 16) {
+    sgemm_tile16<Rows>(k, a, lda, b + j, ldb, c + j, ldc);
+  }
+  if (j + 8 <= n) {
+    sgemm_tile8<Rows>(k, a, lda, b + j, ldb, c + j, ldc, nullptr);
+    j += 8;
+  }
+  if (j < n) {
+    const __m256i mask = tail_mask(n - j);
+    sgemm_tile8<Rows>(k, a, lda, b + j, ldb, c + j, ldc, &mask);
+  }
+}
+
+void sgemm_accum_avx2(int m, int n, int k, const float* a, int lda,
+                      const float* b, int ldb, float* c, int ldc) {
+  // 6-row main block: 12 live accumulators + 2 B segments + 1 A broadcast
+  // fits the 16 ymm registers and keeps both FMA ports busy.  Row blocking
+  // never affects the per-element summation order (always ascending k), so
+  // the remainder schedule below is purely a throughput choice.
+  int i = 0;
+  for (; i + 6 <= m; i += 6) {
+    sgemm_rows<6>(n, k, a + static_cast<std::size_t>(i) * lda, lda, b, ldb,
+                  c + static_cast<std::size_t>(i) * ldc, ldc);
+  }
+  switch (m - i) {
+    case 5:
+      sgemm_rows<5>(n, k, a + static_cast<std::size_t>(i) * lda, lda, b, ldb,
+                    c + static_cast<std::size_t>(i) * ldc, ldc);
+      break;
+    case 4:
+      sgemm_rows<4>(n, k, a + static_cast<std::size_t>(i) * lda, lda, b, ldb,
+                    c + static_cast<std::size_t>(i) * ldc, ldc);
+      break;
+    case 3:
+      sgemm_rows<3>(n, k, a + static_cast<std::size_t>(i) * lda, lda, b, ldb,
+                    c + static_cast<std::size_t>(i) * ldc, ldc);
+      break;
+    case 2:
+      sgemm_rows<2>(n, k, a + static_cast<std::size_t>(i) * lda, lda, b, ldb,
+                    c + static_cast<std::size_t>(i) * ldc, ldc);
+      break;
+    case 1:
+      sgemm_rows<1>(n, k, a + static_cast<std::size_t>(i) * lda, lda, b, ldb,
+                    c + static_cast<std::size_t>(i) * ldc, ldc);
+      break;
+    default: break;
+  }
+}
+
+void sgemm_abt_accum_avx2(int m, int n, int k, const float* a, int lda,
+                          const float* b, int ldb, float* c, int ldc) {
+  const int k8 = k & ~7;
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * lda;
+    float* crow = c + static_cast<std::size_t>(i) * ldc;
+    int j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b + static_cast<std::size_t>(j) * ldb;
+      const float* b1 = b0 + ldb;
+      const float* b2 = b1 + ldb;
+      const float* b3 = b2 + ldb;
+      __m256 v0 = _mm256_setzero_ps();
+      __m256 v1 = _mm256_setzero_ps();
+      __m256 v2 = _mm256_setzero_ps();
+      __m256 v3 = _mm256_setzero_ps();
+      for (int kk = 0; kk < k8; kk += 8) {
+        const __m256 av = _mm256_loadu_ps(arow + kk);
+        v0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b0 + kk), v0);
+        v1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b1 + kk), v1);
+        v2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b2 + kk), v2);
+        v3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b3 + kk), v3);
+      }
+      float s0 = hsum8(v0);
+      float s1 = hsum8(v1);
+      float s2 = hsum8(v2);
+      float s3 = hsum8(v3);
+      for (int kk = k8; kk < k; ++kk) {
+        const float av = arow[kk];
+        s0 += av * b0[kk];
+        s1 += av * b1[kk];
+        s2 += av * b2[kk];
+        s3 += av * b3[kk];
+      }
+      crow[j + 0] += s0;
+      crow[j + 1] += s1;
+      crow[j + 2] += s2;
+      crow[j + 3] += s3;
+    }
+    for (; j < n; ++j) {
+      const float* brow = b + static_cast<std::size_t>(j) * ldb;
+      __m256 v = _mm256_setzero_ps();
+      for (int kk = 0; kk < k8; kk += 8) {
+        v = _mm256_fmadd_ps(_mm256_loadu_ps(arow + kk),
+                            _mm256_loadu_ps(brow + kk), v);
+      }
+      float s = hsum8(v);
+      for (int kk = k8; kk < k; ++kk) s += arow[kk] * brow[kk];
+      crow[j] += s;
+    }
+  }
+}
+
+void igemm_abt_accum_avx2(int m, int n, int k, const std::int8_t* a, int lda,
+                          const std::int8_t* b, int ldb, std::int32_t* c,
+                          int ldc) {
+  const int k16 = k & ~15;
+  for (int i = 0; i < m; ++i) {
+    const std::int8_t* arow = a + static_cast<std::size_t>(i) * lda;
+    std::int32_t* crow = c + static_cast<std::size_t>(i) * ldc;
+    for (int j = 0; j < n; ++j) {
+      const std::int8_t* brow = b + static_cast<std::size_t>(j) * ldb;
+      __m256i acc = _mm256_setzero_si256();
+      for (int kk = 0; kk < k16; kk += 16) {
+        // 16 int8 -> 16 int16 each side; madd pairs into 8 exact int32
+        // partials (each |term| <= 2 * 127^2, far below int32 range).
+        const __m256i a16 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(arow + kk)));
+        const __m256i b16 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(brow + kk)));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a16, b16));
+      }
+      std::int32_t s = hsum8_epi32(acc);
+      for (int kk = k16; kk < k; ++kk) {
+        s += static_cast<std::int32_t>(arow[kk]) *
+             static_cast<std::int32_t>(brow[kk]);
+      }
+      crow[j] += s;
+    }
+  }
+}
+
+const Backend kAvx2Backend{
+    BackendKind::Avx2,         "avx2",
+    &sgemm_accum_avx2,         &sgemm_abt_accum_avx2,
+    &igemm_abt_accum_avx2,     &im2col_scalar,
+};
+
+}  // namespace
+
+const Backend* avx2_backend() { return &kAvx2Backend; }
+
+}  // namespace zeiot::ml::kernels::detail
+
+#else  // !(__AVX2__ && __FMA__): non-x86 target or no -mavx2 support.
+
+namespace zeiot::ml::kernels::detail {
+
+const Backend* avx2_backend() { return nullptr; }
+
+}  // namespace zeiot::ml::kernels::detail
+
+#endif

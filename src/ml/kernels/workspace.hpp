@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "ml/kernels/aligned.hpp"
 
 namespace zeiot::ml::kernels {
 
@@ -49,8 +50,16 @@ class Workspace {
   std::size_t capacity() const { return buf_.size(); }
   std::size_t used() const { return used_; }
 
+  /// Rounds a float count up to a 64-byte multiple (16 floats).  The arena
+  /// base is 64-byte aligned; callers that size every carving (and the
+  /// matching require() sum) with align_floats keep EACH carved pointer
+  /// 64-byte aligned, not just the first.
+  static constexpr std::size_t align_floats(std::size_t floats) {
+    return (floats + 15) & ~static_cast<std::size_t>(15);
+  }
+
  private:
-  std::vector<float> buf_;
+  AlignedVector<float> buf_;
   std::size_t used_ = 0;
 };
 

@@ -74,8 +74,10 @@ Tensor Conv2D::forward(const Tensor& x, bool /*train*/) {
 
   const auto grain = chunk_grain(static_cast<std::size_t>(n));
   const auto chunks = par::make_chunks(static_cast<std::size_t>(n), grain);
-  const std::size_t colsz =
-      static_cast<std::size_t>(kdim) * static_cast<std::size_t>(p);
+  // Carve sizes rounded to 64-byte multiples so every panel starts on an
+  // aligned boundary (the padding floats are never read or written).
+  const std::size_t colsz = kernels::Workspace::align_floats(
+      static_cast<std::size_t>(kdim) * static_cast<std::size_t>(p));
   // One im2col panel per chunk, carved on the calling thread before the
   // parallel region (Workspace::alloc is not thread-safe).
   auto& ws = scratch();
@@ -121,23 +123,25 @@ Tensor Conv2D::backward(const Tensor& grad_y) {
 
   const auto grain = chunk_grain(static_cast<std::size_t>(n));
   const auto chunks = par::make_chunks(static_cast<std::size_t>(n), grain);
-  const std::size_t colsz =
-      static_cast<std::size_t>(kdim) * static_cast<std::size_t>(p);
+  const std::size_t colsz = kernels::Workspace::align_floats(
+      static_cast<std::size_t>(kdim) * static_cast<std::size_t>(p));
   const std::size_t wsz = static_cast<std::size_t>(out_channels_) * kdim;
+  const std::size_t awsz = kernels::Workspace::align_floats(wsz);
   const std::size_t ocsz = static_cast<std::size_t>(out_channels_);
+  const std::size_t aocsz = kernels::Workspace::align_floats(ocsz);
   // Per chunk: an im2col panel, a dcols panel for the data gradient, and
   // private weight/bias gradient partials folded in chunk order below.
   auto& ws = scratch();
   ws.reset();
-  ws.require(wsz + chunks.size() * (2 * colsz + wsz + ocsz));
-  float* wt = ws.alloc(wsz);  // weight transposed to (K, oc)
+  ws.require(awsz + chunks.size() * (2 * colsz + awsz + aocsz));
+  float* wt = ws.alloc(awsz);  // weight transposed to (K, oc)
   std::vector<float*> cols(chunks.size()), dcols(chunks.size()),
       gw_part(chunks.size()), gb_part(chunks.size());
   for (const auto& ch : chunks) {
     cols[ch.index] = ws.alloc(colsz);
     dcols[ch.index] = ws.alloc(colsz);
-    gw_part[ch.index] = ws.alloc(wsz);
-    gb_part[ch.index] = ws.alloc(ocsz);
+    gw_part[ch.index] = ws.alloc(awsz);
+    gb_part[ch.index] = ws.alloc(aocsz);
   }
   kernels::transpose(out_channels_, kdim, weight_.value.data(), kdim, wt,
                      out_channels_);

@@ -10,6 +10,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "ml/kernels/aligned.hpp"
 
 namespace zeiot::ml {
 
@@ -62,7 +63,10 @@ class Tensor {
 
  private:
   std::vector<int> shape_;
-  std::vector<float> data_;
+  // 64-byte-aligned storage (see kernels/aligned.hpp): SIMD backends read
+  // tensor data directly, and an aligned base keeps vector loads off
+  // cache-line splits.  Guaranteed by tests/test_kernel_backends.cpp.
+  kernels::AlignedVector<float> data_;
 };
 
 }  // namespace zeiot::ml

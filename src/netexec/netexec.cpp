@@ -104,6 +104,14 @@ NetworkExecutor::NetworkExecutor(ml::Network& net,
                   "loss_per_hop must be in [0, 1)");
   ZEIOT_CHECK_MSG(cfg_.layer_deadline_s > 0.0,
                   "layer_deadline_s must be > 0 (termination guarantee)");
+  if (cfg_.quantized_transport) {
+    ZEIOT_CHECK_MSG(cfg_.act_scales.size() == graph_.layers().size(),
+                    "quantized_transport requires one activation scale per "
+                    "unit layer (microdeep::calibrate_unit_activation_scales)");
+    for (const float s : cfg_.act_scales) {
+      ZEIOT_CHECK_MSG(s > 0.0f, "activation scales must be positive");
+    }
+  }
   build_plans();
 }
 
@@ -135,7 +143,11 @@ void NetworkExecutor::build_plans() {
                     "netexec expects sequential unit layers");
     const microdeep::UnitLayer& in = layers[p.in_layer];
     const microdeep::UnitLayer& out = layers[p.out_layer];
-    p.payload_bytes = static_cast<std::size_t>(in.channels) * sizeof(float) +
+    // Float transport ships 4 bytes per channel; quantized transport ships
+    // the paper's 1-byte unit messages (symmetric int8).
+    const std::size_t bytes_per_channel =
+        cfg_.quantized_transport ? 1 : sizeof(float);
+    p.payload_bytes = static_cast<std::size_t>(in.channels) * bytes_per_channel +
                       cfg_.channel.header_bytes;
     p.first_uid = next_uid;
     p.out_msgs.resize(n_nodes);
@@ -332,22 +344,51 @@ NetInferenceResult NetworkExecutor::run_impl(
       // late producers) with the last-known value — zeros on first contact.
       const auto in_ch =
           static_cast<std::size_t>(layers[plan.in_layer].channels);
+      // Quantized transport: values that crossed the radio are snapped onto
+      // the consumed unit layer's symmetric int8 grid.  Snapping is
+      // idempotent (round(q*s / s) == q), so it is safe when several
+      // consumer nodes process the same producer in one plan.
+      const float qs = cfg_.quantized_transport
+                           ? cfg_.act_scales[plan.in_layer]
+                           : 0.0f;
+      auto snap = [&](std::vector<float>& v) {
+        for (float& x : v) {
+          const long q = std::clamp(
+              std::lround(static_cast<double>(x) / static_cast<double>(qs)),
+              -127L, 127L);
+          x = static_cast<float>(q) * qs;
+        }
+      };
       std::vector<std::pair<UnitId, std::vector<float>>> saved;
-      auto substitute = [&](UnitId src) {
+      auto substitute = [&](UnitId src, bool remote) {
         saved.emplace_back(src, std::move(acts[src]));
         if (memory != nullptr && src < memory->size() &&
             !(*memory)[src].empty()) {
           acts[src] = (*memory)[src];
+          // A remote consumer only ever saw the quantized stream, so its
+          // last-known value is on-grid too; local memory stays exact.
+          if (remote && cfg_.quantized_transport) snap(acts[src]);
         } else {
-          acts[src].assign(in_ch, 0.0f);
+          acts[src].assign(in_ch, 0.0f);  // zero is on every symmetric grid
         }
         ++res.substitutions;
       };
+      auto fake_quant = [&](UnitId src) {
+        // Save the producer's exact vector (restored after the compute so
+        // same-node consumers and activation memory keep full precision),
+        // then snap the working copy onto the transmitted grid.
+        saved.emplace_back(src, acts[src]);
+        snap(acts[src]);
+      };
       for (const std::size_t mi : plan.in_msgs[n]) {
-        if (!sk.delivered[mi]) substitute(plan.messages[mi].src);
+        if (!sk.delivered[mi]) {
+          substitute(plan.messages[mi].src, /*remote=*/true);
+        } else if (cfg_.quantized_transport) {
+          fake_quant(plan.messages[mi].src);
+        }
       }
       for (const UnitId src : plan.local_srcs[n]) {
-        if (!unit_valid[src]) substitute(src);
+        if (!unit_valid[src]) substitute(src, /*remote=*/false);
       }
 
       std::function<bool(UnitId)> mine = [&, n](UnitId u) {

@@ -91,6 +91,18 @@ struct NetExecConfig {
   /// requires nullptr (the injector RNG is call-order coupled).
   fault::FaultInjector* fault = nullptr;
   double fault_time_offset = 0.0;
+  /// Quantized activation transport: every inter-node frame carries ONE
+  /// byte per channel instead of four.  Frames shrink (payload_bytes =
+  /// channels * 1 + header), so airtime, tx/rx energy, and retry exposure
+  /// all drop; the cost is that every value crossing the radio is snapped
+  /// onto the symmetric int8 grid of its producing unit layer —
+  /// clamp(round(v / s), -127, 127) * s with s = act_scales[unit layer].
+  /// Same-node activations never touch the radio and stay exact, as do
+  /// locally substituted values; remote substitutes are snapped because the
+  /// consumer only ever saw the quantized stream.  Requires one positive
+  /// scale per unit layer (microdeep::calibrate_unit_activation_scales).
+  bool quantized_transport = false;
+  std::vector<float> act_scales;
 };
 
 /// Latency attribution of one inference: a disjoint partition of the root

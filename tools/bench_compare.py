@@ -2,7 +2,9 @@
 """Diff two zeiot bench metrics JSON files and flag perf regressions.
 
 Compares the perf.* gauge series emitted by the bench binaries
-(perf.<key>.wall_s / perf.<key>.items_per_s), the span-derived latency
+(perf.<key>.wall_s / perf.<key>.items_per_s, plus the per-backend
+perf.a3.gemm.<backend>.gflops throughput gauges, where smaller is a
+regression), the span-derived latency
 attribution gauges (netexec.breakdown.{compute,airtime,retry,idle}_{p50,
 p99}_s), the tracing-overhead ratios (obs.overhead.*_ratio), and the
 serving gauges (serve.plan_cache.hit_rate, smaller is worse; the
@@ -71,11 +73,12 @@ def main():
         b, c = base[name], cur[name]
         if b <= 0:
             continue
-        # items_per_s and hit/served rates: smaller is worse (checked first
-        # — items_per_s also ends in `_s`, and `_rate` must not fall through
-        # to the `_ratio` polarity).  wall_s / virtual-second breakdowns /
-        # SLO latencies / overhead ratios: bigger is worse.
-        if name.endswith((".items_per_s", "_rate")):
+        # items_per_s, hit/served rates, and the per-backend GEMM gflops
+        # gauges: smaller is worse (checked first — items_per_s also ends in
+        # `_s`, and `_rate` must not fall through to the `_ratio` polarity).
+        # wall_s / virtual-second breakdowns / SLO latencies / overhead
+        # ratios: bigger is worse.
+        if name.endswith((".items_per_s", "_rate", ".gflops")):
             rel = (b - c) / b
         elif name.endswith(("_s", "_ratio")):
             rel = (c - b) / b

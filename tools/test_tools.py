@@ -259,6 +259,21 @@ class TestBenchCompare(ReportFixtureMixin, unittest.TestCase):
         self.assertEqual(code, 1, out)
         self.assertIn("serve.slo.e4_room_count.p99_s", out)
 
+    def test_gemm_backend_gflops_polarity_is_inverted(self):
+        # perf.a3.gemm.<backend>.gflops is a throughput: shrinking is the
+        # regression, growing is an improvement.
+        base = self.v1_baseline()
+        base["metrics"]["gauges"]["perf.a3.gemm.avx2.gflops"] = 60.0
+        cur = self.v2_current()
+        cur["metrics"]["gauges"]["perf.a3.gemm.avx2.gflops"] = {"value": 20.0}
+        code, out = self.compare(base, cur)
+        self.assertEqual(code, 1, out)
+        self.assertIn("perf.a3.gemm.avx2.gflops", out)
+        cur["metrics"]["gauges"]["perf.a3.gemm.avx2.gflops"] = {"value": 90.0}
+        code, out = self.compare(base, cur)
+        self.assertEqual(code, 0, out)
+        self.assertIn("improvements", out)
+
     def test_warn_only_downgrades_regressions(self):
         code, out = self.compare(self.v1_baseline(wall=1.0),
                                  self.v2_current(wall=1.5), "--warn-only")
