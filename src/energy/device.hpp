@@ -27,6 +27,23 @@ struct ActivityCosts {
   double sleep_watt = 0.5e-6;         // deep sleep leakage
 };
 
+/// Cost model for committing state to non-volatile memory (FRAM-class).
+/// Shared by the single-device task chains (`intermittent_task`) and the
+/// distributed executor's per-unit checkpoints (`netexec`) so both paths
+/// charge the same joules per checkpointed byte.
+struct CheckpointCosts {
+  double base_j = 0.4e-6;           // fixed commit overhead (controller wake)
+  double write_j_per_byte = 25e-9;  // FRAM write energy per byte
+  double write_s_per_byte = 2e-7;   // commit bandwidth (~5 MB/s)
+
+  double energy_j(std::size_t bytes) const {
+    return base_j + write_j_per_byte * static_cast<double>(bytes);
+  }
+  double duration_s(std::size_t bytes) const {
+    return write_s_per_byte * static_cast<double>(bytes);
+  }
+};
+
 /// Cumulative per-activity energy bookkeeping.
 class EnergyLedger {
  public:

@@ -20,7 +20,8 @@ ChainStats run_chain(IntermittentDevice& device,
   ZEIOT_CHECK_MSG(!chain.empty(), "empty task chain");
   ZEIOT_CHECK_MSG(cfg.tick_s > 0.0, "tick must be > 0");
   ZEIOT_CHECK_MSG(cfg.chain_timeout_s > 0.0, "timeout must be > 0");
-  ZEIOT_CHECK_MSG(cfg.checkpoint_energy_j >= 0.0,
+  ZEIOT_CHECK_MSG(cfg.checkpoint.base_j >= 0.0 &&
+                      cfg.checkpoint.write_j_per_byte >= 0.0,
                   "checkpoint energy must be >= 0");
 
   ChainStats st;
@@ -63,9 +64,10 @@ ChainStats run_chain(IntermittentDevice& device,
       if (cfg.policy == CheckpointPolicy::EveryTask) {
         // Commit to non-volatile memory; failure to afford the commit
         // leaves the task volatile (it may be lost to the next brown-out).
-        if (device.try_spend("checkpoint", cfg.checkpoint_energy_j,
+        const double commit_j = cfg.checkpoint.energy_j(task.state_bytes);
+        if (device.try_spend("checkpoint", commit_j,
                              1.0)) {  // energy = power*1s = the commit cost
-          st.checkpoint_energy_j += cfg.checkpoint_energy_j;
+          st.checkpoint_energy_j += commit_j;
           ++next_task;
           volatile_done = 0;
         } else {

@@ -24,6 +24,10 @@ struct Task {
   std::string name;
   double power_watt = 50e-6;
   double duration_s = 0.01;
+  /// Volatile state the task produces; a checkpoint commit writes this many
+  /// bytes to NVM.  The default keeps the historical 2 µJ commit cost under
+  /// the default CheckpointCosts (0.4 µJ base + 64 B * 25 nJ/B).
+  std::size_t state_bytes = 64;
 
   double energy_j() const { return power_watt * duration_s; }
 };
@@ -40,8 +44,10 @@ enum class CheckpointPolicy {
 
 struct IntermittentRunConfig {
   CheckpointPolicy policy = CheckpointPolicy::EveryTask;
-  /// Energy of one checkpoint commit (FRAM write burst).
-  double checkpoint_energy_j = 2e-6;
+  /// NVM commit cost model; one commit of task `t` charges
+  /// `checkpoint.energy_j(t.state_bytes)`.  Shared with netexec so both
+  /// intermittent paths price a checkpointed byte identically.
+  CheckpointCosts checkpoint{};
   /// Wall-clock granularity of the execution loop.
   double tick_s = 0.01;
   /// Give up after this much wall-clock time per chain.

@@ -112,7 +112,8 @@ DeploymentOutcome FleetSimulator::run_inference_cell(
   out.devices = tmpl.devices;
   out.work_items = spec.samples;
 
-  netexec::NetExecConfig ncfg = deployment_netexec_config(dep_seed, dep_obs);
+  netexec::NetExecConfig ncfg =
+      deployment_netexec_config(dep_seed, dep_obs, spec.checkpoint);
   if (!spec.fault.has_value()) {
     netexec::NetworkExecutor exec(tmpl.net, tmpl.graph, tmpl.assignment,
                                   tmpl.wsn, ncfg);

@@ -67,6 +67,11 @@ struct DeploymentSpec {
   /// Faults injected here must never perturb any other deployment — the
   /// isolation property the fleet conformance suite pins.
   std::optional<fault::FaultSpec> fault;
+
+  /// NVM checkpoint policy of the cell's executor (inference cells only).
+  /// None preserves the classic volatile executor bit-for-bit; any other
+  /// policy makes brownout faults suspend/resume instead of being ignored.
+  netexec::CheckpointPolicy checkpoint = netexec::CheckpointPolicy::None;
 };
 
 /// Immutable shared context of one inference template (E1 / E2).
@@ -117,9 +122,11 @@ ml::Dataset deployment_dataset(const InferenceTemplate& tmpl,
 
 /// Network-in-the-loop configuration of one inference deployment: 1%
 /// per-hop loss (the benign indoor link of bench_e1/e2), loss substreams
-/// keyed by `dep_seed`.
-netexec::NetExecConfig deployment_netexec_config(std::uint64_t dep_seed,
-                                                 obs::Observability* obs);
+/// keyed by `dep_seed`.  A non-None `checkpoint` enables NVM checkpointing
+/// with the default commit costs (energy::CheckpointCosts).
+netexec::NetExecConfig deployment_netexec_config(
+    std::uint64_t dep_seed, obs::Observability* obs,
+    netexec::CheckpointPolicy checkpoint = netexec::CheckpointPolicy::None);
 
 /// Coexistence configuration of one backscatter cell (proposed MAC).
 backscatter::CoexistenceConfig deployment_coexistence_config(

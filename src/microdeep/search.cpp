@@ -67,6 +67,7 @@ AssignmentSearchResult search_assignment(const UnitGraph& graph,
     std::optional<CommCostReport> report;  // nullopt = abandoned/rejected
     bool over_budget = false;
     std::size_t peak_memory_bytes = 0;
+    std::size_t peak_nvm_bytes = 0;
   };
   std::vector<std::optional<Scored>> scored(specs.size());
 
@@ -112,11 +113,22 @@ AssignmentSearchResult search_assignment(const UnitGraph& graph,
           // candidate must never become the early-exit incumbent (that
           // would let an undeployable assignment suppress deployable ones).
           std::size_t peak_mem = 0;
+          std::size_t peak_nvm = 0;
           if (opts.memory.enabled()) {
             peak_mem = peak_node_memory(a, wsn.num_nodes(), opts.memory);
             if (peak_mem > opts.memory.node_budget_bytes) {
               scored[i].emplace(Scored{std::move(a), std::nullopt,
-                                       /*over_budget=*/true, peak_mem});
+                                       /*over_budget=*/true, peak_mem, 0});
+              return;
+            }
+          }
+          if (opts.memory.nvm_enabled()) {
+            peak_nvm = peak_node_checkpoint_bytes(graph, a, wsn.num_nodes(),
+                                                  opts.memory);
+            if (peak_nvm > opts.memory.nvm_budget_bytes) {
+              scored[i].emplace(Scored{std::move(a), std::nullopt,
+                                       /*over_budget=*/true, peak_mem,
+                                       peak_nvm});
               return;
             }
           }
@@ -128,7 +140,7 @@ AssignmentSearchResult search_assignment(const UnitGraph& graph,
                                              scratch, bound);
           scored[i].emplace(
               Scored{std::move(a), std::move(r), /*over_budget=*/false,
-                     peak_mem});
+                     peak_mem, peak_nvm});
         },
         opts.pool, /*grain=*/1);
     for (std::size_t i = wave; i < wave_end; ++i) {
@@ -149,12 +161,14 @@ AssignmentSearchResult search_assignment(const UnitGraph& graph,
   for (std::size_t i = 1; i < specs.size(); ++i) {
     if (cost_of(i) < cost_of(best)) best = i;
   }
-  if (!scored[best]->report.has_value() && opts.memory.enabled()) {
-    // No candidate fit: with the budget enabled, a scoreless portfolio can
-    // only mean every candidate blew the budget (aborts need a feasible
+  if (!scored[best]->report.has_value() &&
+      (opts.memory.enabled() || opts.memory.nvm_enabled())) {
+    // No candidate fit: with a budget enabled, a scoreless portfolio can
+    // only mean every candidate blew a budget (aborts need a feasible
     // incumbent to abort against).
-    throw Error("no assignment satisfies the per-node memory budget of " +
-                std::to_string(opts.memory.node_budget_bytes) + " bytes");
+    throw Error("no assignment satisfies the per-node budgets (memory " +
+                std::to_string(opts.memory.node_budget_bytes) + " B, nvm " +
+                std::to_string(opts.memory.nvm_budget_bytes) + " B)");
   }
   ZEIOT_CHECK_MSG(scored[best]->report.has_value(),
                   "search winner cannot be an aborted candidate");
@@ -172,16 +186,19 @@ AssignmentSearchResult search_assignment(const UnitGraph& graph,
     if (rep) {
       res.candidates.push_back({specs[i].label, rep->max_cost, rep->mean_cost,
                                 /*aborted=*/false, /*over_budget=*/false,
-                                scored[i]->peak_memory_bytes});
+                                scored[i]->peak_memory_bytes,
+                                scored[i]->peak_nvm_bytes});
     } else if (scored[i]->over_budget) {
       res.candidates.push_back({specs[i].label, kInf, kInf, /*aborted=*/false,
                                 /*over_budget=*/true,
-                                scored[i]->peak_memory_bytes});
+                                scored[i]->peak_memory_bytes,
+                                scored[i]->peak_nvm_bytes});
       ++over_budget;
     } else {
       res.candidates.push_back({specs[i].label, kInf, kInf, /*aborted=*/true,
                                 /*over_budget=*/false,
-                                scored[i]->peak_memory_bytes});
+                                scored[i]->peak_memory_bytes,
+                                scored[i]->peak_nvm_bytes});
       ++aborted;
     }
   }
@@ -193,11 +210,17 @@ AssignmentSearchResult search_assignment(const UnitGraph& graph,
         .set(static_cast<double>(aborted));
     m.gauge("microdeep.search.best_index").set(static_cast<double>(best));
     m.gauge("microdeep.search.best_max_cost").set(res.best_max_cost);
-    if (opts.memory.enabled()) {
+    if (opts.memory.enabled() || opts.memory.nvm_enabled()) {
       m.gauge("microdeep.search.over_budget_candidates")
           .set(static_cast<double>(over_budget));
+    }
+    if (opts.memory.enabled()) {
       m.gauge("microdeep.search.best_peak_memory_bytes")
           .set(static_cast<double>(scored[best]->peak_memory_bytes));
+    }
+    if (opts.memory.nvm_enabled()) {
+      m.gauge("microdeep.search.best_peak_nvm_bytes")
+          .set(static_cast<double>(scored[best]->peak_nvm_bytes));
     }
     // Re-publish the winner's comm-cost gauges under the standard keys.
     compute_comm_cost(res.best, wsn, opts.cost_options, obs);

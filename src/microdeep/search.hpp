@@ -45,7 +45,10 @@ struct AssignmentSearchOptions {
   /// become the incumbent or the winner, and their score reports
   /// over_budget with +inf cost.  If every candidate violates the budget
   /// the search throws zeiot::Error — an undeployable configuration is an
-  /// error, not a silently bad assignment.
+  /// error, not a silently bad assignment.  The NVM budget
+  /// (nvm_budget_bytes > 0) gates identically on the worst-case per-node
+  /// checkpoint image (peak_node_checkpoint_bytes), for deployments that
+  /// run netexec with checkpointing enabled.
   NodeMemoryModel memory{};
   /// Worker pool (null = par::global_pool(), honours ZEIOT_THREADS).
   par::ThreadPool* pool = nullptr;
@@ -66,11 +69,14 @@ struct AssignmentCandidateScore {
   /// True when early exit abandoned this candidate; max_cost/mean_cost are
   /// then +infinity (the candidate was already worse than the incumbent).
   bool aborted = false;
-  /// True when the candidate violated the per-node memory budget; costs are
-  /// +infinity and peak_memory_bytes records the violating residency.
+  /// True when the candidate violated the per-node memory budget or the
+  /// per-node NVM checkpoint budget; costs are +infinity and
+  /// peak_memory_bytes / peak_nvm_bytes record the residencies.
   bool over_budget = false;
   /// Peak per-node residency in bytes (0 when the budget is disabled).
   std::size_t peak_memory_bytes = 0;
+  /// Peak per-node checkpoint image in bytes (0 when NVM gating is off).
+  std::size_t peak_nvm_bytes = 0;
 };
 
 struct AssignmentSearchResult {

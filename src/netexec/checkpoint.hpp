@@ -1,0 +1,117 @@
+// NVM checkpointing for the distributed executor — the intermittent-
+// computing layer of netexec (paper Sec. III.A brought to the network).
+//
+// Each node owns a bounded non-volatile region holding one checkpoint
+// image: the sensed inputs and computed unit outputs resident on the node
+// plus the latched remote inbox, framed as
+//
+//   "ZNVM" | version u16 | flags u16 | node u32 | plans_done u32 |
+//   n_entries u32 | entries... | fnv1a64 trailer
+//   entry := unit u32 | len u32 | len x float (raw little-endian bits)
+//
+// Values are committed as raw float bits so a resumed inference replays
+// bit-identically to the uninterrupted run.  Decoding is strict: any
+// truncation or bit flip fails the frame (length walk + FNV-1a trailer)
+// and the node falls back to a clean restart instead of consuming garbage.
+// The framing constants are shared with microdeep/memory.hpp so
+// search_assignment can bound the image size before deployment.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "energy/device.hpp"
+#include "microdeep/memory.hpp"
+
+namespace zeiot::netexec {
+
+enum class CheckpointPolicy : std::uint8_t {
+  /// Volatile only: a brown-out wipes all progress on the node.
+  None,
+  /// Commit every computed unit layer (and all sensed inputs) to NVM.
+  EveryUnit,
+  /// Commit sensed inputs and the inbox always (they are unrecoverable),
+  /// but compute outputs only while the capacitor is low — when energy is
+  /// plentiful, re-execution is cheaper than the write burst.
+  EnergyAdaptive,
+};
+
+const char* checkpoint_policy_name(CheckpointPolicy policy);
+
+/// Checkpointing knobs for NetExecConfig.
+struct CheckpointConfig {
+  CheckpointPolicy policy = CheckpointPolicy::None;
+  /// Energy/latency of NVM commits; shared with energy/intermittent_task
+  /// so both intermittent paths price a checkpointed byte identically.
+  energy::CheckpointCosts costs{};
+  /// Per-node NVM capacity; 0 = unchecked.  When set, the executor verifies
+  /// at construction that every node's worst-case image fits.
+  std::size_t nvm_budget_bytes = 0;
+  /// EnergyAdaptive commits compute outputs only while the capacitor holds
+  /// less than this reserve (harvest must be enabled for the policy).
+  double adaptive_reserve_j = 50e-6;
+
+  bool enabled() const { return policy != CheckpointPolicy::None; }
+};
+
+/// Per-node energy-harvesting model for the harvest-aware scheduler: a
+/// capacitor trickle-charged at `harvest_watt` (scaled by any active
+/// HarvestDrought fault window), debited by compute/TX/checkpoint work.
+struct HarvestConfig {
+  bool enabled = false;
+  double harvest_watt = 100e-6;  // ambient RF/solar intake, tens of µW
+  double initial_j = 0.0;        // capacitor charge at t = 0
+  double capacity_j = 1e-3;      // storage ceiling
+
+  bool valid() const {
+    return harvest_watt >= 0.0 && initial_j >= 0.0 && capacity_j > 0.0 &&
+           initial_j <= capacity_j;
+  }
+};
+
+/// One durable activation slot: a unit's output channels as raw floats.
+struct CheckpointEntry {
+  std::uint32_t unit = 0;
+  std::vector<float> values;
+
+  friend bool operator==(const CheckpointEntry& a, const CheckpointEntry& b) {
+    return a.unit == b.unit && a.values == b.values;
+  }
+};
+
+/// The full durable state of one node mid-inference.
+struct NodeCheckpointState {
+  std::uint32_t node = 0;
+  /// Unit layers 0..plans_done-1 are complete on this node (resume skips
+  /// them); layers >= plans_done re-enter the scheduler.
+  std::uint32_t plans_done = 0;
+  /// Sorted by unit id (the codec enforces the order on decode so the
+  /// image bytes are a canonical function of the state).
+  std::vector<CheckpointEntry> entries;
+
+  friend bool operator==(const NodeCheckpointState& a,
+                         const NodeCheckpointState& b) {
+    return a.node == b.node && a.plans_done == b.plans_done &&
+           a.entries == b.entries;
+  }
+};
+
+/// Serializes `state` into one NVM image (see framing above).
+std::vector<std::uint8_t> encode_checkpoint(const NodeCheckpointState& state);
+
+/// Strict decode: returns false (and clears `out`) on any truncation,
+/// framing violation, unsorted entries, or checksum mismatch.
+bool decode_checkpoint(const std::uint8_t* data, std::size_t size,
+                       NodeCheckpointState& out);
+
+/// What a reviving node does: decode its NVM image, falling back to a
+/// clean state for `node` (no progress, no entries) when the image is
+/// empty, corrupt, or belongs to a different node.
+NodeCheckpointState restore_node_from_nvm(const std::vector<std::uint8_t>& image,
+                                          std::uint32_t node);
+
+/// Image size of `state` without serializing (header + trailer + entries).
+std::size_t checkpoint_image_bytes(const NodeCheckpointState& state);
+
+}  // namespace zeiot::netexec

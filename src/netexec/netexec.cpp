@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_set>
 #include <utility>
 
@@ -31,13 +32,14 @@ struct Ival {
   double hi = 0.0;
 };
 
-/// Partitions [0, horizon] into the four latency phases by a sweep over
-/// the recorded activity intervals.  Overlaps resolve by priority
-/// compute > airtime > retry (a tick where any MCU computes counts as
-/// compute even if a radio is also on air); uncovered time is idle.  The
-/// four sums telescope over the same segment boundaries, so they add up
-/// to `horizon` to within floating-point association error.
+/// Partitions [0, horizon] into the latency phases by a sweep over the
+/// recorded activity intervals.  Overlaps resolve by priority
+/// compute > checkpoint > airtime > retry (a tick where any MCU computes
+/// counts as compute even if a radio is also on air); uncovered time is
+/// idle.  The sums telescope over the same segment boundaries, so they add
+/// up to `horizon` to within floating-point association error.
 PhaseBreakdown attribute_phases(const std::vector<Ival>& compute,
+                                const std::vector<Ival>& checkpoint,
                                 const std::vector<Ival>& airtime,
                                 const std::vector<Ival>& retry,
                                 double horizon) {
@@ -45,11 +47,12 @@ PhaseBreakdown attribute_phases(const std::vector<Ival>& compute,
   if (horizon <= 0.0) return out;
   struct Edge {
     double t;
-    int cat;    // 0 compute, 1 airtime, 2 retry
+    int cat;    // 0 compute, 1 checkpoint, 2 airtime, 3 retry
     int delta;  // +1 open, -1 close
   };
   std::vector<Edge> edges;
-  edges.reserve(2 * (compute.size() + airtime.size() + retry.size()));
+  edges.reserve(2 * (compute.size() + checkpoint.size() + airtime.size() +
+                     retry.size()));
   auto push = [&](const std::vector<Ival>& ivals, int cat) {
     for (const Ival& iv : ivals) {
       const double lo = std::max(0.0, iv.lo);
@@ -60,20 +63,22 @@ PhaseBreakdown attribute_phases(const std::vector<Ival>& compute,
     }
   };
   push(compute, 0);
-  push(airtime, 1);
-  push(retry, 2);
+  push(checkpoint, 1);
+  push(airtime, 2);
+  push(retry, 3);
   std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
     if (x.t != y.t) return x.t < y.t;
     return x.delta < y.delta;  // closes before opens at equal times
   });
-  int active[3] = {0, 0, 0};
-  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  int active[4] = {0, 0, 0, 0};
+  double acc[5] = {0.0, 0.0, 0.0, 0.0, 0.0};
   double prev = 0.0;
   auto flush = [&](double t) {
     if (t <= prev) return;
     const int cat = active[0] > 0 ? 0 : active[1] > 0 ? 1
                                     : active[2] > 0   ? 2
-                                                      : 3;
+                                    : active[3] > 0   ? 3
+                                                      : 4;
     acc[cat] += t - prev;
     prev = t;
   };
@@ -83,9 +88,10 @@ PhaseBreakdown attribute_phases(const std::vector<Ival>& compute,
   }
   flush(horizon);
   out.compute_s = acc[0];
-  out.airtime_s = acc[1];
-  out.retry_s = acc[2];
-  out.idle_s = acc[3];
+  out.checkpoint_s = acc[1];
+  out.airtime_s = acc[2];
+  out.retry_s = acc[3];
+  out.idle_s = acc[4];
   return out;
 }
 
@@ -112,7 +118,39 @@ NetworkExecutor::NetworkExecutor(ml::Network& net,
       ZEIOT_CHECK_MSG(s > 0.0f, "activation scales must be positive");
     }
   }
+  ZEIOT_CHECK_MSG(cfg_.checkpoint.costs.base_j >= 0.0 &&
+                      cfg_.checkpoint.costs.write_j_per_byte >= 0.0 &&
+                      cfg_.checkpoint.costs.write_s_per_byte >= 0.0,
+                  "checkpoint costs must be >= 0");
+  if (cfg_.harvest.enabled) {
+    ZEIOT_CHECK_MSG(cfg_.harvest.valid(),
+                    "harvest config invalid (watt/initial >= 0, "
+                    "0 < initial <= capacity)");
+  }
+  if (cfg_.checkpoint.policy == CheckpointPolicy::EnergyAdaptive) {
+    ZEIOT_CHECK_MSG(cfg_.harvest.enabled,
+                    "EnergyAdaptive checkpointing requires the harvest model "
+                    "(the policy keys off the capacitor level)");
+    ZEIOT_CHECK_MSG(cfg_.checkpoint.adaptive_reserve_j >= 0.0,
+                    "adaptive_reserve_j must be >= 0");
+  }
   build_plans();
+  // Worst-case NVM image per node under the shared framing (header +
+  // trailer, one entry per resident activation slot).  Computed through the
+  // residency model so search_assignment and the executor can never
+  // disagree about what fits.
+  nvm_bytes_ = microdeep::compute_node_checkpoint_bytes(
+      graph_, assignment_, wsn_.num_nodes(), microdeep::NodeMemoryModel{});
+  if (cfg_.checkpoint.enabled() && cfg_.checkpoint.nvm_budget_bytes > 0) {
+    for (NodeId n = 0; n < wsn_.num_nodes(); ++n) {
+      ZEIOT_CHECK_MSG(nvm_bytes_[n] <= cfg_.checkpoint.nvm_budget_bytes,
+                      "node " << n << " checkpoint image (" << nvm_bytes_[n]
+                              << " B) exceeds the NVM budget of "
+                              << cfg_.checkpoint.nvm_budget_bytes
+                              << " B; re-run search_assignment with "
+                                 "memory.nvm_budget_bytes set");
+    }
+  }
 }
 
 void NetworkExecutor::reset_memory() { memory_.clear(); }
@@ -214,8 +252,14 @@ std::size_t NetworkExecutor::spans_per_run_bound() const {
   }
   const std::size_t attempts = static_cast<std::size_t>(cfg_.max_retries) + 1;
   const std::size_t n_nodes = wsn_.num_nodes();
+  // Checkpointing adds at most one Checkpoint span per (plan, node) commit
+  // plus one per sense commit per node, and a fifth phase child.  (Brownout
+  // recomputes can exceed the per-(plan, node) counts, but faults are
+  // run()-only — evaluate(), which this bound sizes, forbids them.)
+  const std::size_t ckpt_spans =
+      cfg_.checkpoint.enabled() ? (plans_.size() + 1) * n_nodes + 1 : 0;
   return 1 + 4 + n_nodes + 2 * plans_.size() * n_nodes +
-         2 * hop_traversals * attempts;
+         2 * hop_traversals * attempts + ckpt_spans;
 }
 
 NetInferenceResult NetworkExecutor::run_impl(
@@ -232,6 +276,75 @@ NetInferenceResult NetworkExecutor::run_impl(
   const std::size_t n_nodes = wsn_.num_nodes();
   const std::size_t n_plans = plans_.size();
   const double off = cfg_.fault_time_offset;
+
+  // Intermittent-execution modes.  Brownout windows are honoured whenever
+  // checkpointing or harvesting is on; the all-default configuration takes
+  // none of these branches and is bit-identical to the classic executor.
+  const bool ckpt = cfg_.checkpoint.enabled();
+  const bool harvesting = cfg_.harvest.enabled;
+  const bool adaptive =
+      cfg_.checkpoint.policy == CheckpointPolicy::EnergyAdaptive;
+  const bool intermittent = ckpt || harvesting;
+  const double kInf = std::numeric_limits<double>::infinity();
+
+  // Static scan of the fault plan: brownout suspend/revive windows per node
+  // and harvest-drought scaling windows.  The plan is pure data — scanning
+  // it consumes no injector RNG, so run() reproducibility is untouched.
+  struct Window {
+    double lo = 0.0;
+    double hi = 0.0;
+    double scale = 1.0;
+  };
+  std::vector<std::vector<Window>> brownouts(intermittent ? n_nodes : 0);
+  std::vector<std::vector<Window>> droughts(harvesting ? n_nodes : 0);
+  double last_revival = 0.0;
+  if (fault != nullptr && intermittent) {
+    auto add_window = [&](std::vector<std::vector<Window>>& per_node,
+                          const fault::FaultEvent& e) {
+      const double lo = std::max(0.0, e.t - off);
+      const double hi = e.t - off + e.duration_s;
+      if (e.duration_s <= 0.0 || hi <= 0.0) return;
+      if (e.target == fault::kAllTargets) {
+        for (NodeId n = 0; n < n_nodes; ++n) {
+          per_node[n].push_back(Window{lo, hi, e.magnitude});
+        }
+      } else if (e.target < n_nodes) {
+        per_node[e.target].push_back(Window{lo, hi, e.magnitude});
+      }
+    };
+    for (const fault::FaultEvent& e : fault->plan().events()) {
+      if (e.type == fault::FaultType::Brownout) {
+        add_window(brownouts, e);
+        if (e.duration_s > 0.0 && e.t - off + e.duration_s > 0.0) {
+          last_revival = std::max(last_revival, e.t - off + e.duration_s);
+        }
+      } else if (harvesting && e.type == fault::FaultType::HarvestDrought) {
+        add_window(droughts, e);
+      }
+    }
+    for (auto& w : brownouts) {  // merge overlaps: clean suspend/revive pairs
+      std::sort(w.begin(), w.end(), [](const Window& a, const Window& b) {
+        return a.lo < b.lo;
+      });
+      std::vector<Window> merged;
+      for (const Window& x : w) {
+        if (!merged.empty() && x.lo <= merged.back().hi) {
+          merged.back().hi = std::max(merged.back().hi, x.hi);
+        } else {
+          merged.push_back(x);
+        }
+      }
+      w = std::move(merged);
+    }
+  }
+  // Revival time when `t` falls inside a brownout window of node n, else -1.
+  auto brownout_until = [&](NodeId n, double t) -> double {
+    if (fault == nullptr || !intermittent) return -1.0;
+    for (const Window& w : brownouts[n]) {
+      if (t >= w.lo && t < w.hi) return w.hi;
+    }
+    return -1.0;
+  };
 
   NetInferenceResult res;
   sim::Simulator sim;
@@ -252,6 +365,117 @@ NetInferenceResult NetworkExecutor::run_impl(
   std::vector<double> radio_free(n_nodes, 0.0);
   std::vector<double> cpu_free(n_nodes, 0.0);
   std::vector<energy::EnergyLedger> ledger(n_nodes);
+
+  // Input units owned per node (sensing, and the None-policy volatile wipe).
+  std::vector<std::vector<UnitId>> own_inputs(n_nodes);
+  for (int i = 0; i < input.num_units(); ++i) {
+    const UnitId u = input.first_unit + static_cast<UnitId>(i);
+    own_inputs[assignment_.node_of(u)].push_back(u);
+  }
+
+  // Per-node capacitor: piecewise-constant harvest rate (drought windows
+  // scale it), lazily integrated forward to the query time.
+  std::vector<double> stored(harvesting ? n_nodes : 0, cfg_.harvest.initial_j);
+  std::vector<double> stored_t(harvesting ? n_nodes : 0, 0.0);
+  auto harvest_rate = [&](NodeId n, double t, double* next_change) -> double {
+    double scale = 1.0;
+    double next = kInf;
+    for (const Window& w : droughts[n]) {
+      if (t >= w.lo && t < w.hi) {
+        scale = std::min(scale, w.scale);
+        next = std::min(next, w.hi);
+      } else if (w.lo > t) {
+        next = std::min(next, w.lo);
+      }
+    }
+    if (next_change != nullptr) *next_change = next;
+    return cfg_.harvest.harvest_watt * scale;
+  };
+  auto accrue = [&](NodeId n, double t) {
+    if (!harvesting) return;
+    double cur = stored_t[n];
+    while (cur < t) {
+      double next = kInf;
+      const double rate = harvest_rate(n, cur, &next);
+      const double seg = std::min(t, next);
+      stored[n] =
+          std::min(cfg_.harvest.capacity_j, stored[n] + rate * (seg - cur));
+      cur = seg;
+    }
+    stored_t[n] = std::max(stored_t[n], t);
+  };
+  auto spend_stored = [&](NodeId n, double t, double j) {
+    if (!harvesting) return;
+    accrue(n, t);
+    stored[n] = std::max(0.0, stored[n] - j);
+  };
+  // Earliest time >= t when node n's capacitor reaches `need`; -1 when the
+  // harvest can never get there (the layer deadline then takes over).
+  auto harvest_ready_time = [&](NodeId n, double t, double need) -> double {
+    accrue(n, t);
+    need = std::min(need, cfg_.harvest.capacity_j);
+    double have = stored[n];
+    double cur = t;
+    for (int guard = 0; guard < 65536 && have < need; ++guard) {
+      double next = kInf;
+      const double rate = harvest_rate(n, cur, &next);
+      if (rate > 0.0) {
+        const double t_need = cur + (need - have) / rate;
+        if (t_need <= next) return t_need;
+      }
+      if (next == kInf) return -1.0;
+      have = std::min(cfg_.harvest.capacity_j, have + rate * (next - cur));
+      cur = next;
+    }
+    return have >= need ? cur : -1.0;
+  };
+
+  // Durable per-node NVM image (checkpointing only): the decoded state plus
+  // its canonical encoding — revival round-trips through the codec so the
+  // restore path exercised here is the one corruption tests attack.
+  std::vector<NodeCheckpointState> nvm_state;
+  std::vector<std::vector<std::uint8_t>> nvm_image;
+  if (ckpt) {
+    nvm_state.resize(n_nodes);
+    for (NodeId n = 0; n < n_nodes; ++n) {
+      nvm_state[n].node = static_cast<std::uint32_t>(n);
+    }
+    nvm_image.resize(n_nodes);
+  }
+
+  // Harvest-aware admission: computing plan k on node n needs the compute
+  // burst, the worst-case commit, and the first TX attempt of every frame
+  // the result ships (plan k feeds plan k+1's out_msgs).
+  std::vector<std::vector<double>> admission;
+  if (harvesting) {
+    admission.assign(n_plans, std::vector<double>(n_nodes, 0.0));
+    for (std::size_t k = 0; k < n_plans; ++k) {
+      const LayerPlan& p = plans_[k];
+      const auto out_ch =
+          static_cast<std::size_t>(layers[p.out_layer].channels);
+      for (NodeId n = 0; n < n_nodes; ++n) {
+        if (p.units[n].empty()) continue;
+        const double compute_j = cfg_.costs.compute_watt *
+                                 static_cast<double>(p.units[n].size()) *
+                                 cfg_.unit_compute_s;
+        double ckpt_j = 0.0;
+        if (ckpt) {
+          const std::size_t bytes =
+              p.units[n].size() * (microdeep::kNvmEntryOverheadBytes +
+                                   out_ch * microdeep::kNvmBytesPerActivation);
+          ckpt_j = cfg_.checkpoint.costs.energy_j(bytes);
+        }
+        double tx_j = 0.0;
+        if (k + 1 < n_plans) {
+          const LayerPlan& nxt = plans_[k + 1];
+          tx_j = static_cast<double>(nxt.out_msgs[n].size()) *
+                 cfg_.costs.backscatter_tx_watt *
+                 cfg_.channel.hop_latency_s(nxt.payload_bytes);
+        }
+        admission[k][n] = compute_j + ckpt_j + tx_j;
+      }
+    }
+  }
 
   // Causal span tree (opt-in).  The root Inference span opens at t = 0 and
   // closes at the final latency; activity spans attach energy-ledger
@@ -275,6 +499,7 @@ NetInferenceResult NetworkExecutor::run_impl(
   // push_back per activity); the sweep after sim.run() turns them into
   // res.breakdown, span recording or not.
   std::vector<Ival> compute_ivals;
+  std::vector<Ival> ckpt_ivals;
   std::vector<Ival> air_ivals;
   std::vector<Ival> retry_ivals;
 
@@ -299,9 +524,57 @@ NetInferenceResult NetworkExecutor::run_impl(
     }
   }
 
+  // Event-invalidation epochs: every in-flight compute / commit / deferral
+  // event captures epoch[k][n] and bails when a brownout suspend bumped it —
+  // the rollback edge of the resumable unit-state machine.  Always allocated
+  // and guarded; without faults the guards are no-ops.
+  std::vector<std::vector<std::uint32_t>> epoch(
+      n_plans, std::vector<std::uint32_t>(n_nodes, 0));
+
+  // One durable commit burst on node n: merge the entries into the node's
+  // NVM state, re-encode the canonical image, and charge exactly one
+  // "checkpoint" ledger record (base + per-byte) for the bytes written.
+  // Returns {energy, duration} of the write burst.
+  struct CommitReceipt {
+    double energy_j = 0.0;
+    double duration_s = 0.0;
+  };
+  auto nvm_commit = [&](NodeId n, const std::vector<UnitId>& units_list,
+                        std::size_t plans_done, double t) -> CommitReceipt {
+    NodeCheckpointState& state = nvm_state[n];
+    // First-ever commit also writes the frame (header + trailer).
+    std::size_t bytes =
+        nvm_image[n].empty() ? microdeep::kNvmImageOverheadBytes : 0;
+    for (const UnitId u : units_list) {
+      auto it = std::lower_bound(
+          state.entries.begin(), state.entries.end(), u,
+          [](const CheckpointEntry& e, UnitId v) { return e.unit < v; });
+      const std::size_t value_bytes =
+          acts[u].size() * microdeep::kNvmBytesPerActivation;
+      if (it != state.entries.end() && it->unit == u) {
+        it->values = acts[u];
+        bytes += value_bytes;  // overwrite in place, entry header untouched
+      } else {
+        bytes += microdeep::kNvmEntryOverheadBytes + value_bytes;
+        state.entries.insert(it, CheckpointEntry{u, acts[u]});
+      }
+    }
+    state.plans_done =
+        std::max(state.plans_done, static_cast<std::uint32_t>(plans_done));
+    nvm_image[n] = encode_checkpoint(state);
+    CommitReceipt receipt;
+    receipt.energy_j = cfg_.checkpoint.costs.energy_j(bytes);
+    receipt.duration_s = cfg_.checkpoint.costs.duration_s(bytes);
+    ledger[n].record("checkpoint", receipt.energy_j);
+    spend_stored(n, t, receipt.energy_j);
+    ++res.checkpoints;
+    res.checkpoint_bytes += bytes;
+    return receipt;
+  };
+
   // Mutually recursive event handlers (all state lives in this frame; the
   // simulator runs to completion before it unwinds).
-  std::function<void(std::size_t, NodeId)> schedule_compute;
+  std::function<void(std::size_t, NodeId, bool)> schedule_compute;
   std::function<void(std::size_t, NodeId)> dec_pending;
   std::function<void(std::size_t, NodeId)> layer_done;
   std::function<void(std::size_t, std::size_t)> start_frame;
@@ -312,7 +585,7 @@ NetInferenceResult NetworkExecutor::run_impl(
     auto& s = st[k];
     if (s.pending[n] == 0) return;
     if (--s.pending[n] == 0 && s.stage[n] == 0 && !plans_[k].units[n].empty())
-      schedule_compute(k, n);
+      schedule_compute(k, n, /*forced=*/false);
   };
 
   layer_done = [&](std::size_t done_layer, NodeId n) {
@@ -324,16 +597,57 @@ NetInferenceResult NetworkExecutor::run_impl(
     if (!p.local_srcs[n].empty()) dec_pending(done_layer, n);
   };
 
-  schedule_compute = [&](std::size_t k, NodeId n) {
+  schedule_compute = [&](std::size_t k, NodeId n, bool forced) {
     auto& s = st[k];
     if (s.stage[n] != 0) return;
+    const double now_s = sim.now();
+    if (brownout_until(n, now_s) >= 0.0) {
+      // Suspended node.  With checkpointing the revival restore re-enters
+      // this plan from NVM; without it the node is simply dark — a forced
+      // (deadline) call marks the plan skipped so consumers substitute.
+      if (!ckpt && forced) s.stage[n] = 2;
+      return;
+    }
+    if (harvesting) {
+      accrue(n, now_s);
+      if (stored[n] < admission[k][n]) {
+        if (forced) {
+          // Deadline fired on a dry capacitor: the plan is starved, its
+          // units stay invalid, and downstream consumers substitute.
+          ++res.starved;
+          s.stage[n] = 2;
+          return;
+        }
+        // Defer until the capacitor covers compute + commit + first TX.
+        // The layer deadline is the backstop when the harvest never gets
+        // there; a suspend invalidates the retry through the epoch.
+        ++res.deferrals;
+        const double ready = harvest_ready_time(n, now_s, admission[k][n]);
+        if (ready >= 0.0) {
+          // The exact ready-time solve can round one ULP short: re-checking
+          // at `ready` would find a ~1e-22 J deficit whose own retry delay
+          // underflows below the ULP of `now`, freezing virtual time.  A
+          // 1 ns floor per retry guarantees progress (1 ns of any positive
+          // harvest rate dwarfs the FP residue).
+          const double ready_at = std::max(now_s + 1e-9, ready);
+          const std::uint32_t ep = epoch[k][n];
+          sim.schedule_at(ready_at, [&, k, n, ep]() {
+            if (epoch[k][n] != ep) return;
+            schedule_compute(k, n, /*forced=*/false);
+          });
+        }
+        return;
+      }
+    }
     s.stage[n] = 1;
     const LayerPlan& p = plans_[k];
-    const double start = std::max(sim.now(), cpu_free[n]);
+    const double start = std::max(now_s, cpu_free[n]);
     const double dur =
         static_cast<double>(p.units[n].size()) * cfg_.unit_compute_s;
     cpu_free[n] = start + dur;  // reserve the MCU now (serial execution)
-    sim.schedule_at(start, [&, k, n, start, dur]() {
+    const std::uint32_t ep = epoch[k][n];
+    sim.schedule_at(start, [&, k, n, start, dur, ep]() {
+      if (epoch[k][n] != ep) return;  // suspended while queued
       auto& sk = st[k];
       const LayerPlan& plan = plans_[k];
       if (fault != nullptr && fault->node_dead(off + start, n)) {
@@ -404,6 +718,7 @@ NetInferenceResult NetworkExecutor::run_impl(
       for (auto& [src, prev] : saved) acts[src] = std::move(prev);
 
       ledger[n].record("compute", cfg_.costs.compute_watt * dur);
+      spend_stored(n, start, cfg_.costs.compute_watt * dur);
       const double finish = start + dur;
       compute_ivals.push_back(Ival{start, finish});
       if (sp != nullptr) {
@@ -412,13 +727,57 @@ NetInferenceResult NetworkExecutor::run_impl(
             static_cast<std::uint32_t>(n), static_cast<std::uint32_t>(k),
             cfg_.costs.compute_watt * dur);
       }
-      sim.schedule_at(finish, [&, k, n, finish]() {
-        auto& sf = st[k];
-        sf.stage[n] = 2;
-        sf.finish_s = std::max(sf.finish_s, finish);
-        sf.any_computed = true;
-        for (const UnitId u : plans_[k].units[n]) unit_valid[u] = 1;
-        layer_done(plans_[k].out_layer, n);
+      sim.schedule_at(finish, [&, k, n, finish, ep]() {
+        if (epoch[k][n] != ep) return;  // suspended mid-compute: no commit
+        const LayerPlan& pl = plans_[k];
+        for (const UnitId u : pl.units[n]) unit_valid[u] = 1;
+        // Commit what the policy says cannot stay volatile: EveryUnit
+        // persists every finished unit layer; EnergyAdaptive persists only
+        // while the capacitor is below the reserve (when energy is
+        // plentiful, re-execution after a brown-out is cheaper than the
+        // write burst — progress can be recomputed, inputs cannot).
+        bool commit = false;
+        if (ckpt) {
+          if (!adaptive) {
+            commit = true;
+          } else {
+            accrue(n, finish);
+            commit = stored[n] < cfg_.checkpoint.adaptive_reserve_j;
+          }
+        }
+        double done_t = finish;
+        if (commit) {
+          const CommitReceipt receipt =
+              nvm_commit(n, pl.units[n], k + 1, finish);
+          done_t = finish + receipt.duration_s;
+          cpu_free[n] = std::max(cpu_free[n], done_t);
+          ckpt_ivals.push_back(Ival{finish, done_t});
+          if (sp != nullptr) {
+            const obs::SpanId parent =
+                compute_span[k][n] != 0 ? compute_span[k][n] : root;
+            sp->add(obs::SpanKind::Checkpoint, finish, done_t, parent,
+                    trace_id, static_cast<std::uint32_t>(n),
+                    static_cast<std::uint32_t>(k), receipt.energy_j);
+          }
+        }
+        // The plan completes (and ships downstream) only once the commit
+        // burst ends — atomic commit-at-end: a brown-out during the write
+        // invalidates this event chain and the revival replays the layer.
+        auto complete = [&, k, n](double t_done) {
+          auto& sg = st[k];
+          sg.stage[n] = 2;
+          sg.finish_s = std::max(sg.finish_s, t_done);
+          sg.any_computed = true;
+          layer_done(plans_[k].out_layer, n);
+        };
+        if (done_t > finish) {
+          sim.schedule_at(done_t, [&, k, n, done_t, ep, complete]() {
+            if (epoch[k][n] != ep) return;
+            complete(done_t);
+          });
+        } else {
+          complete(finish);
+        }
       });
     });
   };
@@ -451,6 +810,22 @@ NetInferenceResult NetworkExecutor::run_impl(
       ++res.frames_lost;  // holder died with the frame in its buffer
       return;
     }
+    if (intermittent) {
+      const double revival = brownout_until(cur, now);
+      if (revival >= 0.0) {
+        if (!ckpt) {
+          ++res.frames_lost;  // volatile buffer died with the node
+          return;
+        }
+        // Durable TX queue: the frame waits out the brown-out in NVM and
+        // the attempt replays at revival (not an ARQ attempt — the keyed
+        // loss draws are untouched, preserving bit-identical resume).
+        sim.schedule_at(revival, [&, k, mi, cur, hop, attempt]() {
+          attempt_hop(k, mi, cur, hop, attempt);
+        });
+        return;
+      }
+    }
     if (radio_free[cur] > now) {  // radio busy: defer, not an attempt yet
       sim.schedule_at(radio_free[cur], [&, k, mi, cur, hop, attempt]() {
         attempt_hop(k, mi, cur, hop, attempt);
@@ -464,6 +839,8 @@ NetInferenceResult NetworkExecutor::run_impl(
     if (attempt > 0) ++res.retransmissions;
     ledger[cur].record("tx", cfg_.costs.backscatter_tx_watt * air);
     ledger[nxt].record("rx", cfg_.costs.rx_watt * air);
+    spend_stored(cur, now, cfg_.costs.backscatter_tx_watt * air);
+    spend_stored(nxt, now, cfg_.costs.rx_watt * air);
     air_ivals.push_back(Ival{now, now + air});
     if (obs != nullptr) {
       obs->trace().record(now, obs::TraceType::PacketTx, cur, nxt, air);
@@ -496,6 +873,18 @@ NetInferenceResult NetworkExecutor::run_impl(
     if (fault != nullptr) arrive_t += fault->message_delay_s(off + now, cur, nxt);
     if (!lost && fault != nullptr && fault->node_dead(off + arrive_t, nxt)) {
       lost = true;
+    }
+    if (!lost && intermittent) {
+      // Checked after the loss draw so the channel outcomes match the
+      // uninterrupted run draw-for-draw.
+      const double revival = brownout_until(nxt, arrive_t);
+      if (revival >= 0.0) {
+        if (ckpt) {
+          arrive_t = revival;  // wake-up receiver latches the frame to NVM
+        } else {
+          lost = true;  // receiver dark, volatile inbox: ARQ retries
+        }
+      }
     }
     if (lost) {
       if (attempt >= cfg_.max_retries) {
@@ -534,6 +923,12 @@ NetInferenceResult NetworkExecutor::run_impl(
     auto& s = st[k];
     if (s.delivered[mi]) return;
     s.delivered[mi] = 1;
+    if (ckpt) {
+      // Write-through durable inbox: the payload is latched into NVM on
+      // delivery (remote activations cannot be recomputed locally), so
+      // delivered frames survive a brown-out without retransmission.
+      nvm_commit(at, {m.src}, /*plans_done=*/0, sim.now());
+    }
     if (s.stage[at] == 2) {
       ++res.late_frames;  // consumer already computed with a substitute
       return;
@@ -541,37 +936,155 @@ NetInferenceResult NetworkExecutor::run_impl(
     dec_pending(k, at);
   };
 
+  // Sensing on one node: publish its input units, charge the sense burst,
+  // and (checkpointing) commit the inputs immediately — sensed samples are
+  // the one thing re-execution can never recover.
+  std::function<void(NodeId)> do_sense = [&](NodeId n) {
+    const double t = sim.now();
+    if (fault != nullptr && fault->node_dead(off + t, n)) return;
+    const double revival = brownout_until(n, t);
+    if (revival >= 0.0) {
+      // Browned out at sample time: with NVM the node samples at revival
+      // (late but durable); without, the sample is lost and plan-0
+      // deadlines substitute.
+      if (ckpt) sim.schedule_at(revival, [&, n]() { do_sense(n); });
+      return;
+    }
+    for (const UnitId u : own_inputs[n]) unit_valid[u] = 1;
+    ledger[n].record("sense", cfg_.costs.sense_watt * cfg_.sense_s);
+    spend_stored(n, t, cfg_.costs.sense_watt * cfg_.sense_s);
+    if (sp != nullptr) {
+      // Zero-duration marker: sensing costs energy over sense_s but does
+      // not delay the inference (inputs are ready at sample time).
+      sense_span[n] = sp->add(obs::SpanKind::Sense, t, t, root, trace_id,
+                              static_cast<std::uint32_t>(n), 0,
+                              cfg_.costs.sense_watt * cfg_.sense_s);
+    }
+    if (ckpt) {
+      // Input commit is charged in full but modelled as instantaneous,
+      // matching the zero-duration sense convention above (both policies:
+      // inputs are unrecoverable, so they always go durable).
+      const CommitReceipt receipt = nvm_commit(n, own_inputs[n], 0, t);
+      if (sp != nullptr) {
+        sp->add(obs::SpanKind::Checkpoint, t, t,
+                sense_span[n] != 0 ? sense_span[n] : root, trace_id,
+                static_cast<std::uint32_t>(n), 0, receipt.energy_j);
+      }
+    }
+    layer_done(0, n);
+  };
+
   // t = 0: sensing nodes publish their input units and feed plan 0.
   sim.schedule(0.0, [&]() {
-    std::vector<char> owns(n_nodes, 0);
-    for (int i = 0; i < input.num_units(); ++i) {
-      const UnitId u = input.first_unit + static_cast<UnitId>(i);
-      owns[assignment_.node_of(u)] = 1;
-    }
     for (NodeId n = 0; n < n_nodes; ++n) {
-      if (!owns[n]) continue;
-      if (fault != nullptr && fault->node_dead(off, n)) continue;
-      for (int i = 0; i < input.num_units(); ++i) {
-        const UnitId u = input.first_unit + static_cast<UnitId>(i);
-        if (assignment_.node_of(u) == n) unit_valid[u] = 1;
-      }
-      ledger[n].record("sense", cfg_.costs.sense_watt * cfg_.sense_s);
-      if (sp != nullptr) {
-        // Zero-duration marker: sensing costs energy over sense_s but does
-        // not delay the inference (inputs are ready at t = 0).
-        sense_span[n] =
-            sp->add(obs::SpanKind::Sense, 0.0, 0.0, root, trace_id,
-                    static_cast<std::uint32_t>(n), 0,
-                    cfg_.costs.sense_watt * cfg_.sense_s);
-      }
-      layer_done(0, n);
+      if (!own_inputs[n].empty()) do_sense(n);
     }
   });
 
+  // Brownout windows: suspend at window entry, revive at window exit.
+  // Suspension kills every in-flight per-node event through the epoch bump
+  // and wipes the volatile compute state; what survives differs by policy —
+  // with checkpointing, NVM (inputs, inbox, committed outputs) plus the
+  // durable delivered flags; without, nothing.
+  if (fault != nullptr && intermittent) {
+    auto suspend = [&](NodeId n) {
+      ++res.suspensions;
+      for (std::size_t k = 0; k < n_plans; ++k) ++epoch[k][n];
+      for (const UnitId u : own_inputs[n]) unit_valid[u] = 0;
+      for (std::size_t k = 0; k < n_plans; ++k) {
+        const LayerPlan& p = plans_[k];
+        for (const UnitId u : p.units[n]) unit_valid[u] = 0;
+        if (ckpt) continue;  // revival rebuilds the plan state from NVM
+        auto& s = st[k];
+        if (s.stage[n] == 2) continue;  // already shipped downstream
+        s.stage[n] = 0;
+        for (const std::size_t mi : p.in_msgs[n]) s.delivered[mi] = 0;
+        s.pending[n] =
+            p.in_msgs[n].size() + (p.local_srcs[n].empty() ? 0 : 1);
+      }
+    };
+    auto revive = [&](NodeId n) {
+      ++res.resumes;
+      // Round-trip through the codec: a corrupt, truncated, or foreign
+      // image falls back to a clean restart (degrade, never garbage).
+      const NodeCheckpointState snap = restore_node_from_nvm(nvm_image[n], n);
+      for (const CheckpointEntry& e : snap.entries) {
+        acts[e.unit].assign(e.values.begin(), e.values.end());
+        if (assignment_.node_of(e.unit) == n) unit_valid[e.unit] = 1;
+      }
+      // Rebuild the per-plan state machine from durable facts only.  A plan
+      // is done iff every unit it produces here was committed; a torn or
+      // skipped commit re-enters the scheduler with pending recomputed from
+      // the durable delivered flags and the restored local inputs.  The
+      // rebuild runs to completion before any frame ships or compute kicks,
+      // so nothing observes a half-restored node.
+      std::vector<std::size_t> to_ship;
+      for (std::size_t k = 0; k < n_plans; ++k) {
+        const LayerPlan& p = plans_[k];
+        if (p.units[n].empty()) continue;
+        auto& s = st[k];
+        bool done = true;
+        for (const UnitId u : p.units[n]) done = done && unit_valid[u] != 0;
+        if (done) {
+          // Restored complete from NVM.  If the pre-suspend run never
+          // shipped it (commit landed, brown-out hit before layer_done),
+          // re-send its frames below; consumers deduplicate.
+          if (s.stage[n] != 2) {
+            s.finish_s = std::max(s.finish_s, sim.now());
+            to_ship.push_back(k);
+          }
+          s.stage[n] = 2;
+          s.any_computed = true;
+          continue;
+        }
+        s.stage[n] = 0;
+        std::size_t pend = 0;
+        for (const std::size_t mi : p.in_msgs[n]) {
+          if (!s.delivered[mi]) ++pend;
+        }
+        bool locals_ok = true;
+        for (const UnitId u : p.local_srcs[n]) {
+          locals_ok = locals_ok && unit_valid[u] != 0;
+        }
+        if (!p.local_srcs[n].empty() && !locals_ok) ++pend;
+        s.pending[n] = pend;
+      }
+      // Re-ship remote frames only: the local release of a restored-done
+      // producer is already folded into the recomputed pending above, so
+      // calling dec_pending here would double-count it.
+      for (const std::size_t k : to_ship) {
+        const std::size_t out = plans_[k].out_layer;
+        if (out >= n_plans) continue;  // logits: nothing downstream
+        for (const std::size_t mi : plans_[out].out_msgs[n]) {
+          start_frame(out, mi);
+        }
+      }
+      for (std::size_t k = 0; k < n_plans; ++k) {
+        auto& s = st[k];
+        if (plans_[k].units[n].empty() || s.stage[n] != 0) continue;
+        if (s.pending[n] == 0) schedule_compute(k, n, /*forced=*/false);
+      }
+    };
+    for (NodeId n = 0; n < n_nodes; ++n) {
+      for (const Window& w : brownouts[n]) {
+        sim.schedule_at(w.lo, [&, n, suspend]() { suspend(n); });
+        if (ckpt) {
+          sim.schedule_at(w.hi, [&, n, revive]() { revive(n); });
+        }
+      }
+    }
+  }
+
   // Termination guarantee: plan k's consumers stop waiting at absolute
-  // time (k+1) * layer_deadline_s no matter what was lost.
+  // time (k+1) * layer_deadline_s no matter what was lost.  Under
+  // checkpointing the whole ladder shifts past the last revival — the
+  // resumable executor finishes correctly late instead of degrading, and
+  // no deadline can force a compute inside a brownout window.
+  const double dl_shift =
+      (ckpt && fault != nullptr) ? last_revival : 0.0;
   for (std::size_t k = 0; k < n_plans; ++k) {
-    const double fire_t = static_cast<double>(k + 1) * cfg_.layer_deadline_s;
+    const double fire_t =
+        dl_shift + static_cast<double>(k + 1) * cfg_.layer_deadline_s;
     sim.schedule_at(fire_t, [&, k, fire_t]() {
       for (NodeId n = 0; n < n_nodes; ++n) {
         if (st[k].stage[n] == 0 && !plans_[k].units[n].empty()) {
@@ -580,7 +1093,7 @@ NetInferenceResult NetworkExecutor::run_impl(
                     trace_id, static_cast<std::uint32_t>(n),
                     static_cast<std::uint32_t>(k), 0.0);
           }
-          schedule_compute(k, n);
+          schedule_compute(k, n, /*forced=*/true);
         }
       }
     });
@@ -607,32 +1120,42 @@ NetInferenceResult NetworkExecutor::run_impl(
       ++res.substitutions;
     }
   }
-  res.latency_s = st.back().any_computed
-                      ? st.back().finish_s
-                      : static_cast<double>(n_plans) * cfg_.layer_deadline_s;
+  res.latency_s =
+      st.back().any_computed
+          ? st.back().finish_s
+          : dl_shift + static_cast<double>(n_plans) * cfg_.layer_deadline_s;
   res.degraded = res.substitutions > 0;
-  res.breakdown =
-      attribute_phases(compute_ivals, air_ivals, retry_ivals, res.latency_s);
+  res.breakdown = attribute_phases(compute_ivals, ckpt_ivals, air_ivals,
+                                   retry_ivals, res.latency_s);
 
   for (NodeId n = 0; n < n_nodes; ++n) {
     res.tx_energy_j += ledger[n].of("tx");
     res.rx_energy_j += ledger[n].of("rx");
     res.compute_energy_j += ledger[n].of("compute");
     res.sense_energy_j += ledger[n].of("sense");
+    res.checkpoint_energy_j += ledger[n].of("checkpoint");
     res.energy_j += ledger[n].total_joule();
   }
 
   if (sp != nullptr) {
-    // Four phase children tile [0, latency] in a fixed stacking order, so
-    // their durations (the breakdown components) sum to the root duration
-    // by construction — the invariant tools/obs_report.py checks.
-    const struct {
+    // Phase children tile [0, latency] in a fixed stacking order, so their
+    // durations (the breakdown components) sum to the root duration by
+    // construction — the invariant tools/obs_report.py checks.  The fifth
+    // (checkpoint) child appears only when checkpointing is on, keeping
+    // classic traces byte-stable.
+    struct Ph {
       obs::SpanKind kind;
       double dur;
-    } phases[4] = {{obs::SpanKind::PhaseCompute, res.breakdown.compute_s},
-                   {obs::SpanKind::PhaseAirtime, res.breakdown.airtime_s},
-                   {obs::SpanKind::PhaseRetry, res.breakdown.retry_s},
-                   {obs::SpanKind::PhaseIdle, res.breakdown.idle_s}};
+    };
+    std::vector<Ph> phases = {
+        {obs::SpanKind::PhaseCompute, res.breakdown.compute_s},
+        {obs::SpanKind::PhaseAirtime, res.breakdown.airtime_s},
+        {obs::SpanKind::PhaseRetry, res.breakdown.retry_s}};
+    if (ckpt) {
+      phases.push_back({obs::SpanKind::PhaseCheckpoint,
+                        res.breakdown.checkpoint_s});
+    }
+    phases.push_back({obs::SpanKind::PhaseIdle, res.breakdown.idle_s});
     double t = 0.0;
     for (const auto& ph : phases) {
       sp->add(ph.kind, t, t + ph.dur, root, trace_id, 0, 0, ph.dur);
@@ -659,6 +1182,18 @@ NetInferenceResult NetworkExecutor::run_impl(
         .inc(static_cast<double>(res.frames_lost));
     m.counter("netexec.exec.substitutions")
         .inc(static_cast<double>(res.substitutions));
+    if (intermittent) {  // gated: classic configs gain no metric keys
+      m.counter("netexec.exec.checkpoints")
+          .inc(static_cast<double>(res.checkpoints));
+      m.counter("netexec.exec.checkpoint_bytes")
+          .inc(static_cast<double>(res.checkpoint_bytes));
+      m.counter("netexec.exec.resumes").inc(static_cast<double>(res.resumes));
+      m.counter("netexec.exec.suspensions")
+          .inc(static_cast<double>(res.suspensions));
+      m.counter("netexec.exec.deferrals")
+          .inc(static_cast<double>(res.deferrals));
+      m.counter("netexec.exec.starved").inc(static_cast<double>(res.starved));
+    }
     if (res.degraded) m.counter("netexec.exec.degraded").inc();
     m.summary("netexec.exec.latency_s").observe(res.latency_s);
     m.summary("netexec.exec.energy_j").observe(res.energy_j);
@@ -727,27 +1262,32 @@ NetEvalResult NetworkExecutor::evaluate(const ml::Dataset& data,
 
   NetEvalResult ev;
   ev.samples = n;
-  std::vector<double> lat, ph_compute, ph_air, ph_retry, ph_idle;
+  std::vector<double> lat, ph_compute, ph_ckpt, ph_air, ph_retry, ph_idle;
   lat.reserve(n);
   ph_compute.reserve(n);
+  ph_ckpt.reserve(n);
   ph_air.reserve(n);
   ph_retry.reserve(n);
   ph_idle.reserve(n);
   std::size_t correct = 0, degraded = 0;
-  double energy = 0.0, retrans = 0.0;
+  double energy = 0.0, retrans = 0.0, ckpt_energy = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     const NetInferenceResult& r = slots[i];
     if (static_cast<int>(r.output.argmax()) == data.label(i)) ++correct;
     if (r.degraded) ++degraded;
     lat.push_back(r.latency_s);
     ph_compute.push_back(r.breakdown.compute_s);
+    ph_ckpt.push_back(r.breakdown.checkpoint_s);
     ph_air.push_back(r.breakdown.airtime_s);
     ph_retry.push_back(r.breakdown.retry_s);
     ph_idle.push_back(r.breakdown.idle_s);
     energy += r.energy_j;
+    ckpt_energy += r.checkpoint_energy_j;
     retrans += static_cast<double>(r.retransmissions);
     ev.messages += r.messages;
     ev.frames_lost += r.frames_lost;
+    ev.checkpoints += r.checkpoints;
+    ev.resumes += r.resumes;
   }
   // Shared nearest-rank convention (common/stats.hpp) — also used by the
   // fleet aggregator and tools/obs_report.py.
@@ -761,10 +1301,13 @@ NetEvalResult NetworkExecutor::evaluate(const ml::Dataset& data,
   ev.degraded_fraction =
       static_cast<double>(degraded) / static_cast<double>(n);
   ev.mean_retransmissions = retrans / static_cast<double>(n);
+  ev.mean_checkpoint_energy_j = ckpt_energy / static_cast<double>(n);
   ev.p50_breakdown = PhaseBreakdown{pct(ph_compute, 0.50), pct(ph_air, 0.50),
-                                    pct(ph_retry, 0.50), pct(ph_idle, 0.50)};
+                                    pct(ph_retry, 0.50), pct(ph_idle, 0.50),
+                                    pct(ph_ckpt, 0.50)};
   ev.p99_breakdown = PhaseBreakdown{pct(ph_compute, 0.99), pct(ph_air, 0.99),
-                                    pct(ph_retry, 0.99), pct(ph_idle, 0.99)};
+                                    pct(ph_retry, 0.99), pct(ph_idle, 0.99),
+                                    pct(ph_ckpt, 0.99)};
   ev.latencies_s = lat;  // unsorted: dataset index order
 
   if (cfg_.obs != nullptr) {
@@ -782,6 +1325,19 @@ NetEvalResult NetworkExecutor::evaluate(const ml::Dataset& data,
     m.gauge("netexec.breakdown.retry_p99_s").set(ev.p99_breakdown.retry_s);
     m.gauge("netexec.breakdown.idle_p50_s").set(ev.p50_breakdown.idle_s);
     m.gauge("netexec.breakdown.idle_p99_s").set(ev.p99_breakdown.idle_s);
+    if (cfg_.checkpoint.enabled()) {
+      // Gated so classic configurations gain no metric keys (report and
+      // baseline stability).
+      m.counter("netexec.checkpoints")
+          .inc(static_cast<double>(ev.checkpoints));
+      m.counter("netexec.resumes").inc(static_cast<double>(ev.resumes));
+      m.gauge("netexec.checkpoint_energy_per_inference_j")
+          .set(ev.mean_checkpoint_energy_j);
+      m.gauge("netexec.breakdown.checkpoint_p50_s")
+          .set(ev.p50_breakdown.checkpoint_s);
+      m.gauge("netexec.breakdown.checkpoint_p99_s")
+          .set(ev.p99_breakdown.checkpoint_s);
+    }
     // Per-phase latency histograms over the sample population — the
     // root-span-derived distribution behind the p50/p99 gauges.  Bounds
     // cover the termination guarantee (latency <= n_plans * deadline).
@@ -799,6 +1355,11 @@ NetEvalResult NetworkExecutor::evaluate(const ml::Dataset& data,
       auto& h = m.histogram("netexec.latency_breakdown_s", 0.0, hist_hi, 64,
                             {{"phase", row.phase}});
       for (const double x : *row.samples) h.observe(x);
+    }
+    if (cfg_.checkpoint.enabled()) {
+      auto& h = m.histogram("netexec.latency_breakdown_s", 0.0, hist_hi, 64,
+                            {{"phase", "checkpoint"}});
+      for (const double x : ph_ckpt) h.observe(x);
     }
     m.counter("netexec.eval.messages").inc(static_cast<double>(ev.messages));
     m.counter("netexec.eval.frames_lost")

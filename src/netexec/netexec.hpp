@@ -28,6 +28,7 @@
 #include "energy/device.hpp"
 #include "fault/injector.hpp"
 #include "microdeep/assignment.hpp"
+#include "netexec/checkpoint.hpp"
 #include "microdeep/unit_compute.hpp"
 #include "ml/dataset.hpp"
 #include "par/parallel.hpp"
@@ -103,6 +104,25 @@ struct NetExecConfig {
   /// scale per unit layer (microdeep::calibrate_unit_activation_scales).
   bool quantized_transport = false;
   std::vector<float> act_scales;
+  /// NVM checkpointing (see netexec/checkpoint.hpp).  With a policy other
+  /// than None, fault Brownout windows suspend a node instead of killing
+  /// its round: in-flight work rolls back to the last durable commit, the
+  /// wake-up receiver latches arriving frames into NVM, and on revival the
+  /// node resumes from its checkpoint — layer deadlines shift past the
+  /// last revival so the inference completes correctly, late.  Sensed
+  /// inputs and the delivered inbox are always committed (they cannot be
+  /// recomputed); compute outputs follow the policy.
+  CheckpointConfig checkpoint{};
+  /// Harvest-aware scheduling.  When enabled, each node accrues capacitor
+  /// charge at harvest_watt (scaled by HarvestDrought windows) and a unit
+  /// layer's evaluation is deferred until the capacitor covers
+  /// compute + checkpoint + first-attempt TX; a deadline-forced compute
+  /// with an empty capacitor is starved (units stay invalid, downstream
+  /// substitutes).  Brownout windows are honoured (suspend/wipe semantics
+  /// per the checkpoint policy) whenever checkpointing OR harvesting is on;
+  /// the all-default configuration is bit-identical to the previous
+  /// executor.
+  HarvestConfig harvest{};
 };
 
 /// Latency attribution of one inference: a disjoint partition of the root
@@ -116,8 +136,14 @@ struct PhaseBreakdown {
   double airtime_s = 0.0;  // >= 1 radio transmitting (and not compute)
   double retry_s = 0.0;    // ARQ backoff wait only (no compute / airtime)
   double idle_s = 0.0;     // uncovered: queueing, turnaround, deadline slack
+  /// NVM commit bursts (checkpointing only; stays 0.0 — and the phase lane
+  /// stays four children — when the policy is None).  Declared last so the
+  /// historical four-field aggregate initializers keep their meaning.
+  double checkpoint_s = 0.0;
 
-  double total_s() const { return compute_s + airtime_s + retry_s + idle_s; }
+  double total_s() const {
+    return compute_s + airtime_s + retry_s + idle_s + checkpoint_s;
+  }
 };
 
 /// Outcome of one network-in-the-loop inference.
@@ -136,6 +162,14 @@ struct NetInferenceResult {
   double rx_energy_j = 0.0;
   double compute_energy_j = 0.0;
   double sense_energy_j = 0.0;
+  /// Intermittent execution (all zero unless checkpoint/harvest enabled).
+  std::uint64_t checkpoints = 0;       // NVM commit operations (incl. latches)
+  std::uint64_t checkpoint_bytes = 0;  // bytes written across all commits
+  std::uint64_t resumes = 0;           // brownout revivals restored from NVM
+  std::uint64_t suspensions = 0;       // brownout windows entered
+  std::uint64_t deferrals = 0;         // computes postponed awaiting harvest
+  std::uint64_t starved = 0;           // deadline-forced computes skipped dry
+  double checkpoint_energy_j = 0.0;    // ledger total of "checkpoint"
   /// Where the latency went (always computed; spans are optional).
   PhaseBreakdown breakdown{};
 };
@@ -151,6 +185,10 @@ struct NetEvalResult {
   std::uint64_t messages = 0;
   std::uint64_t frames_lost = 0;
   std::size_t samples = 0;
+  /// Intermittent execution totals (zero when checkpointing is off).
+  std::uint64_t checkpoints = 0;
+  std::uint64_t resumes = 0;
+  double mean_checkpoint_energy_j = 0.0;
   /// Per-phase latency percentiles over the sample population (each phase's
   /// per-inference duration sorted independently, same p50/p99 convention
   /// as the latency percentiles above).
@@ -197,6 +235,13 @@ class NetworkExecutor {
   void reset_memory();
 
   const NetExecConfig& config() const { return cfg_; }
+
+  /// Worst-case NVM checkpoint image per node (indexed by NodeId), as the
+  /// executor will produce it — by construction equal to
+  /// microdeep::compute_node_checkpoint_bytes for the same assignment.
+  const std::vector<std::size_t>& nvm_footprint_bytes() const {
+    return nvm_bytes_;
+  }
 
  private:
   /// One logical activation message: the producer unit's channel vector,
@@ -245,6 +290,7 @@ class NetworkExecutor {
   const microdeep::WsnTopology& wsn_;
   NetExecConfig cfg_;
   std::vector<LayerPlan> plans_;
+  std::vector<std::size_t> nvm_bytes_;  // worst-case checkpoint image per node
   microdeep::ActTable memory_;  // last-known activations across run() calls
   std::uint64_t runs_ = 0;      // run() counter, keys per-inference substreams
 };

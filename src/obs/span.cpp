@@ -28,6 +28,8 @@ const char* span_kind_name(SpanKind kind) {
     case SpanKind::ServeRequest: return "serve_request";
     case SpanKind::ServeQueue: return "serve_queue";
     case SpanKind::ServeService: return "serve_service";
+    case SpanKind::Checkpoint: return "checkpoint";
+    case SpanKind::PhaseCheckpoint: return "phase_checkpoint";
   }
   return "unknown";
 }

@@ -67,6 +67,10 @@ enum class SpanKind : std::uint8_t {
   ServeRequest,   // root: one served request (a = route, b = batch seq)
   ServeQueue,     // admission-to-dispatch wait (a = route)
   ServeService,   // batched execution window (a = route, b = batch size)
+  // Intermittent execution (netexec checkpointing).  Appended at the end:
+  // kind ordinals feed span digests and the golden traces.
+  Checkpoint,       // one NVM commit burst on a node (value = joules)
+  PhaseCheckpoint,  // attribution-lane child: NVM commit time of the run
 };
 
 /// Stable lowercase name used in all exports.

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "backscatter/coexistence.hpp"
 #include "common/error.hpp"
@@ -643,6 +644,64 @@ TEST(FaultWiring, NetexecDeadSensingNodeSubstitutesItsInputs) {
   EXPECT_TRUE(r.degraded);
   EXPECT_GT(r.substitutions, 0u);
   EXPECT_EQ(r.output.size(), 2u);
+}
+
+TEST(FaultWiring, NetexecBrownoutWithCheckpointsResumesCorrectLate) {
+  // A whole-cell supply brownout mid-inference (Sec. III.A's intermittency
+  // meeting the distributed executor): with per-unit NVM checkpoints the
+  // round suspends instead of dying, resumes from the durable image at
+  // revival, and completes with logits bit-identical to the uninterrupted
+  // run — correct, just late.  (The degradation control arm and the codec
+  // properties live in tests/test_intermittent_exec.cpp.)
+  Rng rng(43);
+  ml::Network net;
+  net.emplace<ml::Conv2D>(1, 3, 3, 1, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::MaxPool2D>(2);
+  net.emplace<ml::Flatten>();
+  net.emplace<ml::Dense>(3 * 3 * 3, 6, rng);
+  net.emplace<ml::ReLU>();
+  net.emplace<ml::Dense>(6, 2, rng);
+  const auto graph = microdeep::UnitGraph::build(net, {1, 6, 6});
+  const auto wsn = microdeep::WsnTopology::grid({0.0, 0.0, 10.0, 10.0}, 4, 4);
+  const auto assignment = microdeep::assign_nearest(graph, wsn);
+
+  ml::Tensor sample({1, 6, 6});
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    sample[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+
+  netexec::NetExecConfig base;
+  base.checkpoint.policy = netexec::CheckpointPolicy::EveryUnit;
+  netexec::NetworkExecutor clean(net, graph, assignment, wsn, base);
+  const auto ref = clean.run(sample);
+  ASSERT_FALSE(ref.degraded);
+
+  // All nodes lose their supply from 1 ms (frames in flight) to 51 ms.
+  FaultPlan plan({FaultEvent{1e-3, FaultType::Brownout, kAllTargets, 50e-3,
+                             1.0}});
+  FaultInjector inj(std::move(plan));
+  netexec::NetExecConfig cfg = base;
+  cfg.fault = &inj;
+  netexec::NetworkExecutor exec(net, graph, assignment, wsn, cfg);
+  const auto r = exec.run(sample);
+
+  EXPECT_FALSE(r.degraded);
+  EXPECT_EQ(r.substitutions, 0u);
+  EXPECT_GT(r.suspensions, 0u);
+  EXPECT_GT(r.resumes, 0u);
+  EXPECT_GE(r.latency_s, 51e-3) << "completion waits for the revival";
+  EXPECT_GT(r.latency_s, ref.latency_s);
+  ASSERT_EQ(r.output.size(), ref.output.size());
+  for (std::size_t i = 0; i < r.output.size(); ++i) {
+    const float fg = r.output[i];
+    const float fw = ref.output[i];
+    std::uint32_t got = 0;
+    std::uint32_t want = 0;
+    std::memcpy(&got, &fg, sizeof(got));
+    std::memcpy(&want, &fw, sizeof(want));
+    EXPECT_EQ(got, want) << "logit " << i << " differs in bits after resume";
+  }
 }
 
 }  // namespace

@@ -321,6 +321,46 @@ TEST(FleetConformance, InferenceFaultNeverPerturbsNeighbors) {
   EXPECT_NE(a.result.digest[1], b.result.digest[1]);
 }
 
+TEST(FleetConformance, CheckpointedBrownoutWavesIdenticalAcrossThreadCounts) {
+  // One lounge cell brown-outs mid-round while running with per-unit NVM
+  // checkpoints: its executor suspends and resumes inside its own
+  // simulation.  The whole fleet must stay bit-identical across worker
+  // counts, the neighbors must not move, and the checkpoint policy must be
+  // observable — the same fault plan under CheckpointPolicy::None ignores
+  // the supply windows entirely, so the faulted row's digest differs.
+  fault::FaultSpec f;
+  f.horizon_s = 0.02;  // inside the few-ms inference rounds
+  f.num_targets = 50;  // the lounge WSN's node count
+  f.brownout_rate = 3.0;
+  f.brownout_s = 0.05;
+  f.seed = 91;
+  ASSERT_GT(fault::generate_plan(f).count(fault::FaultType::Brownout), 0u)
+      << "seed 91 must draw at least one brownout window";
+
+  // Inference-only fleet so even the merged metrics JSON is byte-identical
+  // (E6 cells record host wall-clock summaries; see the JSON test above).
+  std::vector<DeploymentSpec> specs = {lounge_spec(0), lounge_spec(1),
+                                       ir_spec(0)};
+  specs[1].fault = f;
+  specs[1].checkpoint = netexec::CheckpointPolicy::EveryUnit;
+
+  const FleetRun one = run_fleet(specs, 1);
+  const FleetRun four = run_fleet(specs, 4);
+  expect_results_bitwise_equal(one.result, four.result);
+  EXPECT_EQ(one.metrics_json, four.metrics_json);
+  EXPECT_EQ(one.trace_digest, four.trace_digest);
+  EXPECT_EQ(one.span_digest, four.span_digest);
+
+  std::vector<DeploymentSpec> volatile_specs = specs;
+  volatile_specs[1].checkpoint = netexec::CheckpointPolicy::None;
+  const FleetRun none = run_fleet(volatile_specs, 4);
+  ASSERT_EQ(none.result.digest.size(), 3u);
+  EXPECT_EQ(one.result.digest[0], none.result.digest[0]) << "neighbor 0";
+  EXPECT_EQ(one.result.digest[2], none.result.digest[2]) << "neighbor 2";
+  EXPECT_NE(one.result.digest[1], none.result.digest[1])
+      << "checkpointing changed nothing observable for the faulted cell";
+}
+
 // ---------------------------------------------------------------------------
 // run_deployment is the public per-slot function; it must agree with the
 // fleet's own rows (the conformance suite's escape hatch for debugging a

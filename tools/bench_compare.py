@@ -8,7 +8,9 @@ regression), the span-derived latency
 attribution gauges (netexec.breakdown.{compute,airtime,retry,idle}_{p50,
 p99}_s), the tracing-overhead ratios (obs.overhead.*_ratio), and the
 serving gauges (serve.plan_cache.hit_rate, smaller is worse; the
-serve.slo.<route>.{p50,p99}_s virtual latencies, bigger is worse):
+serve.slo.<route>.{p50,p99}_s virtual latencies, bigger is worse), and the
+e7 drought-sweep fidelity/energy gauges (e7.drought.<sev>.<policy>.*:
+accuracy and match_fraction smaller is worse, *_j energy bigger is worse):
 
     tools/bench_compare.py baseline.metrics.json current.metrics.json
 
@@ -32,7 +34,8 @@ import sys
 ACCEPTED_SCHEMAS = ("zeiot.obs.v1", "zeiot.obs.v2")
 
 # Gauge prefixes diffed between runs, beyond validity checks.
-COMPARED_PREFIXES = ("perf.", "netexec.breakdown.", "obs.overhead.", "serve.")
+COMPARED_PREFIXES = ("perf.", "netexec.breakdown.", "obs.overhead.", "serve.",
+                     "e7.")
 
 
 def load_compared_gauges(path):
@@ -78,9 +81,14 @@ def main():
         # `_s`, and `_rate` must not fall through to the `_ratio` polarity).
         # wall_s / virtual-second breakdowns / SLO latencies / overhead
         # ratios: bigger is worse.
-        if name.endswith((".items_per_s", "_rate", ".gflops")):
+        # Fidelity gauges from the e7 drought sweep (accuracy, bitwise
+        # match_fraction): smaller is worse.  Energy-per-inference (_j):
+        # bigger is worse.  Both are virtual quantities — any drift is a
+        # behavioral change.
+        if name.endswith((".items_per_s", "_rate", ".gflops", ".accuracy",
+                          "_fraction")):
             rel = (b - c) / b
-        elif name.endswith(("_s", "_ratio")):
+        elif name.endswith(("_s", "_ratio", "_j")):
             rel = (c - b) / b
         else:
             continue

@@ -16,9 +16,10 @@ violation so CI can gate on it:
   * for a netexec bench, the root-span count must equal the number of
     inferences executed (the netexec.eval.samples counter);
   * every root with a phase lane must carry exactly one
-    phase_{compute,airtime,retry,idle} child each, tiling [t0, t1]: the
-    four durations must sum to the root duration within one virtual tick
-    (1 us).
+    phase_{compute,airtime,retry,idle} child each — plus, when the bench
+    ran with NVM checkpointing, exactly one phase_checkpoint child —
+    tiling [t0, t1]: the phase durations must sum to the root duration
+    within one virtual tick (1 us).
 
 Usage:
     tools/obs_report.py <bench>.metrics.json [--spans <bench>.spans.jsonl]
@@ -36,6 +37,10 @@ import sys
 VIRTUAL_TICK_S = 1e-6  # netexec/sim quantum: phase sums must match within it
 
 PHASE_KINDS = ("phase_compute", "phase_airtime", "phase_retry", "phase_idle")
+# Optional fifth lane: NVM commit bursts.  Only present when the bench ran
+# the netexec checkpoint path; a policy-None root keeps four children.
+PHASE_CHECKPOINT = "phase_checkpoint"
+ALL_PHASE_KINDS = PHASE_KINDS + (PHASE_CHECKPOINT,)
 
 # Span kinds whose `v` payload is an energy-ledger delta in joules.
 ENERGY_KINDS = ("sense", "node_compute", "hop_tx", "hop_retry_tx")
@@ -118,10 +123,11 @@ def check_span_block(doc, spans, counters):
 
 
 def check_phase_tiling(spans, roots):
-    """Each root with a phase lane must be tiled exactly by its 4 phases."""
+    """Each root with a phase lane must be tiled exactly by its phases:
+    the four base lanes, optionally joined by phase_checkpoint."""
     phases_by_parent = {}
     for s in spans:
-        if s["kind"] in PHASE_KINDS:
+        if s["kind"] in ALL_PHASE_KINDS:
             phases_by_parent.setdefault(s["parent"], []).append(s)
     checked = 0
     for root in roots:
@@ -129,9 +135,10 @@ def check_phase_tiling(spans, roots):
         if phases is None:
             continue  # e.g. a train_epoch root: no phase lane by design
         kinds = sorted(p["kind"] for p in phases)
-        if kinds != sorted(PHASE_KINDS):
+        if kinds not in (sorted(PHASE_KINDS), sorted(ALL_PHASE_KINDS)):
             fail(f"root span {root['id']} has phase children {kinds}, "
-                 f"expected exactly one of each of {sorted(PHASE_KINDS)}")
+                 f"expected exactly one of each of {sorted(PHASE_KINDS)} "
+                 f"(optionally plus {PHASE_CHECKPOINT})")
         phase_sum = sum(p["t1"] - p["t0"] for p in phases)
         duration = root["t1"] - root["t0"]
         if abs(phase_sum - duration) > VIRTUAL_TICK_S:
@@ -174,18 +181,23 @@ def summarize(doc, spans, roots, phase_checked):
         return
 
     # Latency attribution from the phase lanes of each inference root.
-    by_phase = {k: [] for k in PHASE_KINDS}
+    # The checkpoint lane only appears in the table when some root has it.
     phases_by_parent = {}
     for s in spans:
-        if s["kind"] in PHASE_KINDS:
+        if s["kind"] in ALL_PHASE_KINDS:
             phases_by_parent.setdefault(s["parent"], {})[s["kind"]] = s
+    shown_kinds = PHASE_KINDS
+    if any(PHASE_CHECKPOINT in phases_by_parent.get(r["id"], {})
+           for r in inference_roots):
+        shown_kinds = ALL_PHASE_KINDS
+    by_phase = {k: [] for k in shown_kinds}
     latencies = sorted(r["t1"] - r["t0"] for r in inference_roots)
     for r in inference_roots:
-        for k in PHASE_KINDS:
+        for k in shown_kinds:
             p = phases_by_parent.get(r["id"], {}).get(k)
             by_phase[k].append(p["t1"] - p["t0"] if p else 0.0)
     rows = []
-    for k in PHASE_KINDS:
+    for k in shown_kinds:
         vals = sorted(by_phase[k])
         rows.append([k.removeprefix("phase_"),
                      f"{percentile(vals, 0.50) * 1e3:.3f}",

@@ -180,6 +180,45 @@ class TestObsReportValidation(ReportFixtureMixin, unittest.TestCase):
         self.assertEqual(code, 1, out)
         self.assertIn("virtual tick", out)
 
+    def test_checkpoint_phase_lane_validates(self):
+        # A checkpointed netexec root carries a fifth phase child; the five
+        # lanes must still tile the root exactly.
+        spans = [{"trace": 42, "id": 1, "parent": 0, "kind": "inference",
+                  "t0": 0.0, "t1": 0.1, "v": 1.5e-3}]
+        four = _phase_spans(2, 1, 0.0, 0.08)
+        spans += four
+        spans.append({"trace": 42, "id": 6, "parent": 1,
+                      "kind": "phase_checkpoint", "t0": 0.08, "t1": 0.1})
+        doc = golden_v2_report(spans)
+        metrics = self.write_report(doc, spans)
+        code, out = self.run_main(obs_report, [metrics])
+        self.assertEqual(code, 0, out)
+        self.assertIn("1 phase-tiled", out)
+        self.assertIn("checkpoint", out)  # fifth lane shown in the table
+
+    def test_checkpoint_phase_must_still_tile(self):
+        spans = [{"trace": 42, "id": 1, "parent": 0, "kind": "inference",
+                  "t0": 0.0, "t1": 0.1, "v": 1.5e-3}]
+        spans += _phase_spans(2, 1, 0.0, 0.08)
+        # Checkpoint lane leaves [0.09, 0.1] uncovered: sum != root duration.
+        spans.append({"trace": 42, "id": 6, "parent": 1,
+                      "kind": "phase_checkpoint", "t0": 0.08, "t1": 0.09})
+        metrics = self.write_report(golden_v2_report(spans), spans)
+        code, out = self.run_main(obs_report, [metrics])
+        self.assertEqual(code, 1, out)
+        self.assertIn("virtual tick", out)
+
+    def test_duplicate_checkpoint_phase_fails(self):
+        spans = golden_spans()
+        spans += [{"trace": 42, "id": 20, "parent": 1,
+                   "kind": "phase_checkpoint", "t0": 0.0, "t1": 0.0},
+                  {"trace": 42, "id": 21, "parent": 1,
+                   "kind": "phase_checkpoint", "t0": 0.0, "t1": 0.0}]
+        metrics = self.write_report(golden_v2_report(spans), spans)
+        code, out = self.run_main(obs_report, [metrics])
+        self.assertEqual(code, 1, out)
+        self.assertIn("phase children", out)
+
     def test_unresolved_parent_fails(self):
         spans = golden_spans()
         spans.append({"trace": 9, "id": 99, "parent": 98, "kind": "sense",
@@ -273,6 +312,44 @@ class TestBenchCompare(ReportFixtureMixin, unittest.TestCase):
         code, out = self.compare(base, cur)
         self.assertEqual(code, 0, out)
         self.assertIn("improvements", out)
+
+    def test_e7_drought_fidelity_and_energy_polarities(self):
+        # accuracy / match_fraction are fidelities: shrinking is the
+        # regression.  *_j energies are costs: growing is the regression.
+        base = self.v1_baseline()
+        base["metrics"]["gauges"].update({
+            "e7.drought.s40.every_unit.accuracy": 0.8,
+            "e7.drought.s40.every_unit.match_fraction": 1.0,
+            "e7.drought.s40.every_unit.checkpoint_energy_per_inference_j":
+                1.7e-3,
+        })
+        cur = self.v2_current()
+        cur["metrics"]["gauges"].update({
+            "e7.drought.s40.every_unit.accuracy": {"value": 0.4},
+            "e7.drought.s40.every_unit.match_fraction": {"value": 1.0},
+            "e7.drought.s40.every_unit.checkpoint_energy_per_inference_j":
+                {"value": 1.7e-3},
+        })
+        code, out = self.compare(base, cur)
+        self.assertEqual(code, 1, out)
+        self.assertIn("e7.drought.s40.every_unit.accuracy", out)
+        # Restore accuracy, lose bitwise fidelity instead.
+        cur["metrics"]["gauges"]["e7.drought.s40.every_unit.accuracy"] = \
+            {"value": 0.8}
+        cur["metrics"]["gauges"][
+            "e7.drought.s40.every_unit.match_fraction"] = {"value": 0.0}
+        code, out = self.compare(base, cur)
+        self.assertEqual(code, 1, out)
+        self.assertIn("match_fraction", out)
+        # Fidelity intact but checkpoint energy doubled: cost polarity.
+        cur["metrics"]["gauges"][
+            "e7.drought.s40.every_unit.match_fraction"] = {"value": 1.0}
+        cur["metrics"]["gauges"][
+            "e7.drought.s40.every_unit.checkpoint_energy_per_inference_j"] = \
+            {"value": 3.4e-3}
+        code, out = self.compare(base, cur)
+        self.assertEqual(code, 1, out)
+        self.assertIn("checkpoint_energy_per_inference_j", out)
 
     def test_warn_only_downgrades_regressions(self):
         code, out = self.compare(self.v1_baseline(wall=1.0),
